@@ -1,0 +1,342 @@
+// Benchmarks: one per paper artifact (Table 1-1, Figures 3-1, 5-1,
+// 6-1..6-3, 7-1, the Section 7 sweep) plus the ablations and the
+// simulator's own micro-benchmarks. Each artifact bench runs its
+// experiment end to end and reports the headline metric the paper's
+// comparison rests on via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation with numbers attached.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/coherence"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/memory"
+	"repro/internal/stackdist"
+	"repro/internal/workload"
+)
+
+// --- Table 1-1 ---
+
+func BenchmarkTable11CmStarEmulation(b *testing.B) {
+	var last []experiments.Table11Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table11Rows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	// Report the curve's endpoints for the pde application.
+	for _, r := range last {
+		if r.App != "pde" {
+			continue
+		}
+		switch r.CacheSize {
+		case 256:
+			b.ReportMetric(r.ReadMissPct, "readmiss256_%")
+		case 2048:
+			b.ReportMetric(r.ReadMissPct, "readmiss2048_%")
+		}
+	}
+}
+
+// --- Figures 3-1 and 5-1 (transition diagrams; micro) ---
+
+func benchProtocolTransitions(b *testing.B, p coherence.Protocol) {
+	states := p.States()
+	var sink coherence.ProcOutcome
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := states[i%len(states)]
+		sink = p.OnProc(s, 1, coherence.ProcEvent(i%2))
+	}
+	_ = sink
+}
+
+func BenchmarkFig31RBTransitions(b *testing.B)  { benchProtocolTransitions(b, coherence.RB{}) }
+func BenchmarkFig51RWBTransitions(b *testing.B) { benchProtocolTransitions(b, coherence.NewRWB(2)) }
+
+// --- Figures 6-1, 6-2, 6-3 (synchronization scenarios) ---
+
+func benchFigure6(b *testing.B, run func() *experiments.Table) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(run().Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFig61TestAndSetRB(b *testing.B)         { benchFigure6(b, experiments.Figure61) }
+func BenchmarkFig62TestAndTestAndSetRB(b *testing.B)  { benchFigure6(b, experiments.Figure62) }
+func BenchmarkFig63TestAndTestAndSetRWB(b *testing.B) { benchFigure6(b, experiments.Figure63) }
+
+// --- Section 7: saturation sweep and Figure 7-1 multi-bus ---
+
+func BenchmarkBusSaturationSweep(b *testing.B) {
+	var rows []experiments.SaturationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.SaturationRows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Protocol == "rb" && r.Processors == 32 {
+			b.ReportMetric(r.Utilization, "rb32_util")
+		}
+		if r.Protocol == "nocache" && r.Processors == 4 {
+			b.ReportMetric(r.Utilization, "nocache4_util")
+		}
+	}
+}
+
+func BenchmarkFig71MultiBus(b *testing.B) {
+	var rows []experiments.Figure71Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure71Rows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Buses == 2 {
+			total := r.Txns[0] + r.Txns[1]
+			b.ReportMetric(float64(r.Txns[0])/float64(total), "bank0_share")
+		}
+	}
+}
+
+// --- Ablations ---
+
+func BenchmarkArrayInit(b *testing.B) {
+	var rows []experiments.ArrayInitRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ArrayInitRows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Protocol {
+		case "rb":
+			b.ReportMetric(r.BusWritesPerElement, "rb_writes/elem")
+		case "rwb":
+			b.ReportMetric(r.BusWritesPerElement, "rwb_writes/elem")
+		}
+	}
+}
+
+func BenchmarkLockContention(b *testing.B) {
+	var rows []experiments.LockRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.LockRows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Protocol == "rb" {
+			b.ReportMetric(r.TxnsPerAcq, r.Strategy+"_txns/acq")
+		}
+	}
+}
+
+func BenchmarkReadWriteMixSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MixRows(experiments.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRWBThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ThresholdRows(experiments.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultRecovery(b *testing.B) {
+	var rows []experiments.FaultRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.FaultRows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Fraction, r.Protocol+"_recovered")
+	}
+}
+
+// --- Section 4: model checking ---
+
+func benchModelCheck(b *testing.B, p coherence.Protocol, inv func(check.Snapshot) error) {
+	var res check.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = check.Run(p, check.Options{Caches: 4, Invariant: inv})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.States), "states")
+}
+
+func BenchmarkModelCheckRB(b *testing.B)  { benchModelCheck(b, coherence.RB{}, check.RBLemma) }
+func BenchmarkModelCheckRWB(b *testing.B) { benchModelCheck(b, coherence.NewRWB(2), check.RWBLemma) }
+
+// --- Simulator micro-benchmarks ---
+
+// BenchmarkMachineCycles measures raw simulation speed: cycles per second
+// for a busy 8-PE machine.
+func BenchmarkMachineCycles(b *testing.B) {
+	agents := make([]workload.Agent, 8)
+	for i := range agents {
+		agents[i] = workload.NewHotspot(bus.Addr(i), 0) // runs forever, all hits after warmup
+	}
+	m, err := machine.New(machine.Config{Protocol: coherence.RB{}, CacheLines: 64}, agents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures the in-cache read hit path.
+func BenchmarkCacheHit(b *testing.B) {
+	mem := memory.New()
+	bs := bus.New(mem)
+	c := cache.MustNew(0, coherence.RB{}, cache.Config{Lines: 64})
+	bs.Attach(0, c)
+	bs.AttachRequester(0, c)
+	// Install the line.
+	c.Access(coherence.EvRead, 1, 0, coherence.ClassShared)
+	bs.RequestSlot(0)
+	if req, res, ok := bs.Tick(); ok {
+		c.BusCompleted(req, res)
+	}
+	c.TakeResolved()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if done, _ := c.Access(coherence.EvRead, 1, 0, coherence.ClassShared); !done {
+			b.Fatal("hit missed")
+		}
+	}
+}
+
+// BenchmarkBusTransaction measures one granted bus write per Tick.
+func BenchmarkBusTransaction(b *testing.B) {
+	mem := memory.New()
+	bs := bus.New(mem)
+	bs.AttachRequester(0, grantWrite{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs.RequestSlot(0)
+		if _, _, ok := bs.Tick(); !ok {
+			b.Fatal("no grant")
+		}
+	}
+}
+
+type grantWrite struct{}
+
+func (grantWrite) BusGrant(bank, banks int) (bus.Request, bool) {
+	return bus.Request{Op: bus.OpWrite, Addr: 1, Data: 1}, true
+}
+
+// BenchmarkWorkloadGeneration measures the synthetic-application stream.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	app := workload.MustApp(workload.PDEProfile(), workload.DefaultLayout(), 0, 1, 0)
+	var sink workload.Op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = app.Next(workload.Result{})
+	}
+	_ = sink
+}
+
+// --- Extensions ---
+
+func BenchmarkBarrierContention(b *testing.B) {
+	var rows []experiments.BarrierRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.BarrierRows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Protocol == "rwb" || r.Protocol == "nocache" {
+			b.ReportMetric(r.TxnsPerRound, r.Protocol+"_txns/round")
+		}
+	}
+}
+
+func BenchmarkHierarchyFiltering(b *testing.B) {
+	var rows []experiments.HierRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.HierRows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Clusters == 4 {
+			b.ReportMetric(r.FilterRatio, "filter4c")
+		}
+	}
+}
+
+func BenchmarkPrivateData(b *testing.B) {
+	var rows []experiments.PrivateRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.PrivateRows(experiments.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Protocol == "rb" || r.Protocol == "writethrough" {
+			b.ReportMetric(r.BusPerRef, r.Protocol+"_bus/ref")
+		}
+	}
+}
+
+// BenchmarkStackDistance measures the Mattson profiler's throughput on a
+// realistic locality stream.
+func BenchmarkStackDistance(b *testing.B) {
+	app := workload.MustApp(workload.PDEProfile(), workload.DefaultLayout(), 0, 1, 0)
+	var addrs []bus.Addr
+	for i := 0; i < 10000; i++ {
+		addrs = append(addrs, app.Next(workload.Result{}).Addr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := stackdist.New()
+		for _, a := range addrs {
+			p.Touch(a)
+		}
+	}
+}

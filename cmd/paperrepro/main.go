@@ -1,0 +1,94 @@
+// Command paperrepro regenerates every table and figure of Rudolph &
+// Segall (1984) from the simulator.
+//
+// Usage:
+//
+//	paperrepro                    # print every artifact (quick scale)
+//	paperrepro -only fig6-2       # one artifact
+//	paperrepro -list              # list artifact ids
+//	paperrepro -format markdown   # Markdown output (also: csv, plain)
+//	paperrepro -scale 10 -seed 7  # bigger workloads, different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coherence"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "run a single experiment by id")
+		format = flag.String("format", "plain", "output format: plain, markdown, csv")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		scale  = flag.Int("scale", 1, "workload scale multiplier (1 = quick, 10 = full)")
+		seed   = flag.Uint64("seed", 1, "deterministic workload seed")
+		charts = flag.Bool("charts", false, "append ASCII bar charts to the sweep experiments")
+		dot    = flag.String("dot", "", "emit a protocol's state diagram as Graphviz DOT (rb or rwb) and exit")
+	)
+	flag.Parse()
+
+	if *dot != "" {
+		p, err := coherence.ByName(*dot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.TransitionDOT(p))
+		return
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := experiments.Params{Seed: *seed, Scale: *scale}
+	run := experiments.All()
+	if *only != "" {
+		e, err := experiments.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run = []experiments.Experiment{e}
+	}
+
+	for i, e := range run {
+		tb, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(tb.Render(*format))
+		if *charts {
+			if spec, ok := chartSpecs[e.ID]; ok {
+				fmt.Println()
+				fmt.Print(report.ChartFromTable(tb, spec.labels, spec.value, 48))
+			}
+		}
+	}
+}
+
+// chartSpecs maps sweep experiments to the (label columns, value column)
+// worth charting.
+var chartSpecs = map[string]struct {
+	labels []int
+	value  int
+}{
+	"section7-saturation": {labels: []int{0, 1}, value: 3}, // utilization
+	"ablation-mix":        {labels: []int{1, 0}, value: 2}, // bus txns/ref
+	"ablation-lock":       {labels: []int{0, 1}, value: 4}, // txns/acquisition
+	"ablation-barrier":    {labels: []int{0}, value: 3},    // txns/round
+	"extension-hier":      {labels: []int{1}, value: 3},    // global txns
+	"table1-1":            {labels: []int{0, 1}, value: 2}, // read miss %
+}

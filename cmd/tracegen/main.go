@@ -1,0 +1,94 @@
+// Command tracegen captures a workload generator's reference stream to a
+// trace file (binary MCT1 or line text), for inspection with tracestat and
+// replay with mimdsim -trace.
+//
+// Example:
+//
+//	tracegen -workload pde -pes 4 -ops 10000 -out refs.mct
+//	tracegen -workload arrayinit -pes 1 -ops 512 -format text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bus"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "pde", "workload: pde, qsort, arrayinit, hotspot, random")
+		pes    = flag.Int("pes", 4, "number of PEs")
+		ops    = flag.Int("ops", 10000, "operations per PE")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "binary", "binary or text")
+	)
+	flag.Parse()
+
+	var recs []trace.Record
+	layout := workload.DefaultLayout()
+	for pe := 0; pe < *pes; pe++ {
+		var agent workload.Agent
+		switch *wl {
+		case "pde", "qsort":
+			prof := workload.PDEProfile()
+			if *wl == "qsort" {
+				prof = workload.QuicksortProfile()
+			}
+			app, err := workload.NewApp(prof, layout, pe, *seed, *ops)
+			if err != nil {
+				fatal(err)
+			}
+			agent = app
+		case "arrayinit":
+			agent = workload.NewArrayInit(bus.Addr(pe**ops), *ops)
+		case "hotspot":
+			agent = workload.NewHotspot(100, *ops)
+		case "random":
+			agent = workload.NewRandom(0, 256, *ops, 0.3, 0.02, *seed+uint64(pe))
+		default:
+			fatal(fmt.Errorf("unknown workload %q (reactive workloads like spinlocks cannot be captured standalone)", *wl))
+		}
+		recs = append(recs, trace.Capture(pe, agent, *ops+1)...)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *format {
+	case "text":
+		if err := trace.WriteText(w, recs); err != nil {
+			fatal(err)
+		}
+	case "binary":
+		tw := trace.NewWriter(w)
+		for _, r := range recs {
+			if err := tw.Write(r); err != nil {
+				fatal(err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records\n", len(recs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command tracestat summarizes a reference trace (binary MCT1 or line
+// text): record counts by kind, PE count, distinct addresses, and the
+// class mix — the numbers Table 1-1's columns are made of.
+//
+// Usage:
+//
+//	tracestat refs.mct
+//	tracestat -text scenario.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coherence"
+	"repro/internal/stackdist"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	text := flag.Bool("text", false, "parse the line format instead of binary")
+	missCurve := flag.Bool("misscurve", false,
+		"run Mattson's stack algorithm over the trace and print the exact fully-associative LRU miss curve")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-text] <file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var recs []trace.Record
+	if *text {
+		recs, err = trace.ParseText(f)
+	} else {
+		recs, err = trace.NewReader(f).ReadAll()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	s := trace.Summarize(recs)
+	fmt.Printf("records    %d\n", s.Records)
+	fmt.Printf("PEs        %d\n", s.PEs)
+	fmt.Printf("addresses  %d distinct\n", s.Addresses)
+	fmt.Printf("reads      %d\n", s.Reads)
+	fmt.Printf("writes     %d\n", s.Writes)
+	fmt.Printf("test-sets  %d\n", s.TestSets)
+	fmt.Printf("computes   %d\n", s.Computes)
+	fmt.Printf("halts      %d\n", s.Halts)
+	memRefs := s.Reads + s.Writes + s.TestSets
+	if memRefs > 0 {
+		for _, c := range []coherence.Class{coherence.ClassCode, coherence.ClassLocal, coherence.ClassShared, coherence.ClassUnknown} {
+			if n := s.ByClass[c]; n > 0 {
+				fmt.Printf("class %-8s %d (%.1f%%)\n", c, n, 100*float64(n)/float64(memRefs))
+			}
+		}
+	}
+
+	if *missCurve {
+		printMissCurves(recs)
+	}
+}
+
+// printMissCurves profiles each PE's reference stream separately (private
+// caches see private streams) with Mattson's stack algorithm.
+func printMissCurves(recs []trace.Record) {
+	profilers := map[int]*stackdist.Profiler{}
+	order := []int{}
+	for _, r := range recs {
+		switch r.Op.Kind {
+		case workload.OpRead, workload.OpWrite, workload.OpTestSet:
+			p := profilers[r.PE]
+			if p == nil {
+				p = stackdist.New()
+				profilers[r.PE] = p
+				order = append(order, r.PE)
+			}
+			p.Touch(r.Op.Addr)
+		}
+	}
+	for _, pe := range order {
+		p := profilers[pe]
+		fmt.Printf("\nPE %d: %d refs, footprint %d, %d cold misses\n",
+			pe, p.Refs(), p.Footprint(), p.Colds())
+		fmt.Printf("%8s  %10s  %s\n", "lines", "misses", "miss ratio")
+		for _, pt := range p.Curve(stackdist.PowersOfTwo(6, 12)) {
+			fmt.Printf("%8d  %10d  %.4f\n", pt.Lines, pt.Misses, pt.MissRatio)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracestat:", err)
+	os.Exit(1)
+}

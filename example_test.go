@@ -1,0 +1,80 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleNewMachine assembles the paper's machine and runs the Section 5
+// array-initialization scenario under both schemes, reproducing the
+// 2-vs-1 bus-writes-per-element claim.
+func ExampleNewMachine() {
+	for _, proto := range []repro.Protocol{repro.RB(), repro.RWB(2)} {
+		const cacheLines, elements = 64, 256
+		m, err := repro.NewMachine(repro.MachineConfig{
+			Protocol:         proto,
+			CacheLines:       cacheLines,
+			CheckConsistency: true,
+		}, []repro.Agent{repro.NewArrayInit(0, elements)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := m.Run(1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		writes := m.Metrics().Bus.Writes()
+		for _, e := range m.Cache(0).Entries() {
+			if proto.WritebackOnEvict(e.State, e.Dirty) {
+				writes++ // write-backs still owed by resident lines
+			}
+		}
+		fmt.Printf("%s: %.1f bus writes per element\n", proto.Name(), float64(writes)/elements)
+	}
+	// Output:
+	// rb: 2.0 bus writes per element
+	// rwb: 1.0 bus writes per element
+}
+
+// ExampleCheckProtocol machine-checks the Section 4 theorem for the RWB
+// scheme with four caches.
+func ExampleCheckProtocol() {
+	res, err := repro.CheckProtocol(repro.RWB(2), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rwb with 4 caches: %d reachable states, consistent\n", res.States)
+	// Output:
+	// rwb with 4 caches: 144 reachable states, consistent
+}
+
+// ExampleNewSpinlock contends two TTS spin-locks and counts acquisitions.
+func ExampleNewSpinlock() {
+	a := repro.NewSpinlock(repro.SpinlockConfig{Lock: 9, Strategy: repro.StrategyTTS, Iterations: 5})
+	b := repro.NewSpinlock(repro.SpinlockConfig{Lock: 9, Strategy: repro.StrategyTTS, Iterations: 5})
+	m, err := repro.NewMachine(repro.MachineConfig{Protocol: repro.RB(), CheckConsistency: true},
+		[]repro.Agent{a, b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("total acquisitions:", a.Acquisitions()+b.Acquisitions())
+	// Output:
+	// total acquisitions: 10
+}
+
+// ExampleRunExperiment regenerates a paper artifact by id.
+func ExampleRunExperiment() {
+	tb, err := repro.RunExperiment("section7-sbb", repro.ExperimentParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The third row is the paper's worked example: 128 PEs at 1 MACS with
+	// a 10% miss ratio need 12.8 MACS of bus bandwidth.
+	fmt.Println(tb.Rows[2][0], "processors need", tb.Rows[2][3], "MACS")
+	// Output:
+	// 128 processors need 12.8 MACS
+}

@@ -1,0 +1,93 @@
+// Package bandwidth implements the shared-bus bandwidth arithmetic of
+// Section 7: the required bus bandwidth SBB ≥ m·x·(1/h) for m processors
+// each generating x accesses per second with a cache miss ratio of 1/h,
+// the worked example (128 PEs, 1 MACS, 10% misses ⇒ 12.8 MACS), and the
+// multiple-shared-bus split of Figure 7-1.
+package bandwidth
+
+import "fmt"
+
+// MACS is millions of accesses per second, the paper's bandwidth unit.
+type MACS float64
+
+// Model carries the Section 7 parameters.
+type Model struct {
+	// Processors is m, the number of PEs on the shared bus.
+	Processors int
+	// AccessRate is x, the references per second one PE generates (MACS).
+	AccessRate MACS
+	// MissRatio is 1/h, the fraction of references that reach the bus.
+	MissRatio float64
+}
+
+// Validate reports parameter errors.
+func (m Model) Validate() error {
+	if m.Processors < 1 {
+		return fmt.Errorf("bandwidth: %d processors", m.Processors)
+	}
+	if m.AccessRate <= 0 {
+		return fmt.Errorf("bandwidth: access rate %v", m.AccessRate)
+	}
+	if m.MissRatio < 0 || m.MissRatio > 1 {
+		return fmt.Errorf("bandwidth: miss ratio %v", m.MissRatio)
+	}
+	return nil
+}
+
+// RequiredSBB returns the minimum shared-bus bandwidth: SBB ≥ m·x·(1/h).
+func (m Model) RequiredSBB() MACS {
+	return MACS(float64(m.Processors) * float64(m.AccessRate) * m.MissRatio)
+}
+
+// PerBus returns the bandwidth each of n interleaved buses must carry:
+// "Each part of the divided cache will generate, on average, half of the
+// traffic ... the required bandwidth for each shared bus will be about
+// half" (Figure 7-1, generalized to n banks).
+func (m Model) PerBus(buses int) MACS {
+	if buses < 1 {
+		panic("bandwidth: non-positive bus count")
+	}
+	return m.RequiredSBB() / MACS(buses)
+}
+
+// MaxProcessors returns the largest m a bus of the given bandwidth can
+// carry without saturating.
+func (m Model) MaxProcessors(sbb MACS) int {
+	perPE := float64(m.AccessRate) * m.MissRatio
+	if perPE <= 0 {
+		return 0
+	}
+	return int(float64(sbb) / perPE)
+}
+
+// Utilization predicts the analytic bus utilization for a bus able to
+// carry sbb: demand over capacity, capped at 1.
+func (m Model) Utilization(sbb MACS) float64 {
+	if sbb <= 0 {
+		return 1
+	}
+	u := float64(m.RequiredSBB()) / float64(sbb)
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// PaperExample returns the Section 7 worked example: 128 processors, 1
+// MACS each, 10 % miss ratio. Its RequiredSBB is 12.8 MACS.
+func PaperExample() Model {
+	return Model{Processors: 128, AccessRate: 1, MissRatio: 0.10}
+}
+
+// SaturationPoint estimates, from a measured per-reference bus-transaction
+// rate (transactions per processor reference) and a per-PE issue rate in
+// references per bus cycle, how many processors saturate a single bus that
+// completes one transaction per cycle. This ties the analytic model to
+// simulated traffic: busPerRef plays the role of 1/h.
+func SaturationPoint(busPerRef, refsPerCyclePerPE float64) int {
+	demand := busPerRef * refsPerCyclePerPE
+	if demand <= 0 {
+		return 0
+	}
+	return int(1 / demand)
+}

@@ -1,0 +1,93 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperExampleIs12Point8MACS(t *testing.T) {
+	// Section 7: 1/h = 10%, m = 128, x = 1 MACS => SBB = 12.8 MACS.
+	m := PaperExample()
+	if got := m.RequiredSBB(); math.Abs(float64(got)-12.8) > 1e-9 {
+		t.Fatalf("RequiredSBB = %v, want 12.8", got)
+	}
+}
+
+func TestPerBusHalvesWithTwoBuses(t *testing.T) {
+	m := PaperExample()
+	if got := m.PerBus(2); math.Abs(float64(got)-6.4) > 1e-9 {
+		t.Fatalf("PerBus(2) = %v, want 6.4", got)
+	}
+	if got := m.PerBus(4); math.Abs(float64(got)-3.2) > 1e-9 {
+		t.Fatalf("PerBus(4) = %v, want 3.2", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PerBus(0) did not panic")
+			}
+		}()
+		m.PerBus(0)
+	}()
+}
+
+func TestMaxProcessors(t *testing.T) {
+	m := Model{Processors: 1, AccessRate: 1, MissRatio: 0.1}
+	// A 12.8-MACS bus supports the paper's 128 processors.
+	if got := m.MaxProcessors(12.8); got != 128 {
+		t.Fatalf("MaxProcessors(12.8) = %d, want 128", got)
+	}
+	// The paper's closing claim: "as many as 32 to 256 processors".
+	if lo := m.MaxProcessors(3.2); lo != 32 {
+		t.Fatalf("MaxProcessors(3.2) = %d, want 32", lo)
+	}
+	if hi := m.MaxProcessors(25.6); hi != 256 {
+		t.Fatalf("MaxProcessors(25.6) = %d, want 256", hi)
+	}
+	zero := Model{Processors: 1, AccessRate: 0, MissRatio: 0}
+	if zero.MaxProcessors(10) != 0 {
+		t.Fatal("degenerate model should support 0 processors")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := PaperExample()
+	if u := m.Utilization(25.6); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("Utilization(25.6) = %v, want 0.5", u)
+	}
+	if u := m.Utilization(6.4); u != 1 {
+		t.Fatalf("oversubscribed Utilization = %v, want capped at 1", u)
+	}
+	if u := m.Utilization(0); u != 1 {
+		t.Fatalf("zero-capacity Utilization = %v", u)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := PaperExample()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{Processors: 0, AccessRate: 1, MissRatio: 0.1},
+		{Processors: 1, AccessRate: 0, MissRatio: 0.1},
+		{Processors: 1, AccessRate: 1, MissRatio: 1.5},
+		{Processors: 1, AccessRate: 1, MissRatio: -0.1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestSaturationPoint(t *testing.T) {
+	// 0.1 transactions per reference, 1 reference per cycle per PE:
+	// a 1-transaction-per-cycle bus saturates at 10 PEs.
+	if got := SaturationPoint(0.1, 1); got != 10 {
+		t.Fatalf("SaturationPoint = %d, want 10", got)
+	}
+	if SaturationPoint(0, 1) != 0 {
+		t.Fatal("degenerate saturation point")
+	}
+}

@@ -1,0 +1,17 @@
+package bandwidth_test
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+)
+
+// ExampleModel reproduces the Section 7 worked example.
+func ExampleModel() {
+	m := bandwidth.PaperExample() // 128 PEs, 1 MACS each, 10% miss ratio
+	fmt.Printf("SBB >= %.1f MACS\n", float64(m.RequiredSBB()))
+	fmt.Printf("per bus with 2 buses: %.1f MACS\n", float64(m.PerBus(2)))
+	// Output:
+	// SBB >= 12.8 MACS
+	// per bus with 2 buses: 6.4 MACS
+}

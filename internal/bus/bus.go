@@ -1,0 +1,669 @@
+// Package bus models the logically-single shared bus of the paper's
+// machine: n processing elements and I/O connected to memory over one
+// broadcast medium (paper Section 2, assumptions 1-6).
+//
+// The bus is the serialization point of the whole machine. One transaction
+// executes per bus cycle; every cache "listens" (snoops) on every
+// transaction; a cache holding the line in the Local state can interrupt a
+// bus read, replace it with a bus write of its own data, and force the read
+// to be retried on the next cycle (assumption 6 and Section 3, case ii.b).
+//
+// Arbitration is request-line based, as on a real bus: a device asserts its
+// request line (RequestSlot), the arbiter grants one device per cycle
+// (round-robin, with an interrupted read's retry taking absolute priority),
+// and the granted device supplies its transaction at grant time
+// (Requester.BusGrant). Building the transaction at grant time — rather
+// than queueing payloads — matters for correctness: a cache's state can
+// change between requesting the bus and winning it (a snooped write can
+// invalidate the line it meant to write back), and the transaction must
+// reflect the state at the moment the bus is actually driven.
+//
+// The package also provides Set, a group of buses interleaved on the low
+// address bits, implementing the multiple-shared-bus configuration of
+// Section 7 / Figure 7-1.
+package bus
+
+import "fmt"
+
+// Addr is a word address. The paper assumes a one-word block size
+// (assumption 7), so there is no separate block/line address.
+type Addr uint32
+
+// Word is the machine word: the unit of all data transfer.
+type Word uint32
+
+// Op enumerates bus transaction kinds.
+type Op uint8
+
+const (
+	// OpRead is a bus read: fetch a word from memory (or from an
+	// interrupting Local owner). Its returned data is broadcast: snooping
+	// caches may pick it up (the "RB" in the RB scheme).
+	OpRead Op = iota
+	// OpWrite is a bus write: update memory and broadcast the new value.
+	// Under RB snoopers only note the event; under RWB they also read the
+	// data part.
+	OpWrite
+	// OpInv is the RWB scheme's bus invalidate signal. It carries no data
+	// (the paper reserves one data value to encode it; we model it as a
+	// distinct op, which is equivalent and clearer).
+	OpInv
+	// OpRMW is an atomic read-modify-write, the bus realization of
+	// Test-and-Set: a locked read followed, if the test succeeds, by a
+	// write in the same transaction (Section 6).
+	OpRMW
+	numOps
+)
+
+// String returns the conventional short name used in the paper's figures.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "BR"
+	case OpWrite:
+		return "BW"
+	case OpInv:
+		return "BI"
+	case OpRMW:
+		return "RMW"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Request is a bus transaction supplied by a granted requester.
+type Request struct {
+	Source int  // requesting cache index
+	Op     Op   // transaction kind
+	Addr   Addr // word address
+	Data   Word // for OpWrite: value written; for OpRMW: value to set on success
+	// SuccessOp selects how a successful OpRMW's write part is broadcast:
+	// OpWrite (the common case) or OpInv (RWB taking a line Local on a
+	// completed write streak). The zero value is treated as OpWrite.
+	SuccessOp Op
+	// Retry marks the re-issue of a read that was killed by a Local owner
+	// (informational; priority is carried by PrioritySlot).
+	Retry bool
+	// Lock marks an OpRead as the paper's "read with lock": on completion
+	// the bus locks the word — writes and locked operations to it by
+	// other sources stall — until the holder's Unlock write. (Section 6:
+	// "a special bus read operation is generated that locks the
+	// appropriate shared memory location".)
+	Lock bool
+	// Unlock marks an OpWrite (or OpInv) as the holder's "store back ...
+	// and the lock removed" operation.
+	Unlock bool
+}
+
+// Result reports the outcome of an executed transaction to its issuer.
+type Result struct {
+	// Killed is set when a bus read was interrupted by a Local owner. The
+	// read consumed its cycle (the owner's flush write used the slot) and
+	// the issuer must retry via PrioritySlot.
+	Killed bool
+	// Data is the word obtained by OpRead, or the word observed by the
+	// locked read of OpRMW.
+	Data Word
+	// RMWSuccess reports whether the OpRMW test (Data == 0) succeeded and
+	// the write part was performed.
+	RMWSuccess bool
+	// SharedLine reports, for OpRead, whether any other cache held a
+	// valid copy at the time of the read — the wired-OR "shared" line
+	// that lets Illinois-style protocols install clean-exclusive copies.
+	// Only snoopers implementing CopyHolder contribute.
+	SharedLine bool
+}
+
+// CopyHolder is an optional Snooper extension: caches that implement it
+// drive the bus's shared line during reads.
+type CopyHolder interface {
+	// HasCopy reports whether the cache holds a valid (non-Invalid) copy
+	// of the address.
+	HasCopy(a Addr) bool
+}
+
+// Snooper is a device (a private cache) listening on the bus. The bus
+// never calls a snooper for transactions it sourced itself.
+type Snooper interface {
+	// SnoopRead is offered every bus read before memory responds. A cache
+	// holding the line in the Local state must return inhibit=true and the
+	// cached value; the bus then kills the read, writes the value through
+	// to memory, broadcasts that write, and the issuer retries.
+	SnoopRead(addr Addr, source int) (inhibit bool, data Word)
+
+	// SnoopRMWRead is offered the locked read of an OpRMW. Unlike a plain
+	// read this is non-cachable (Section 6: a failed Test-and-Set is "a
+	// non-cachable read"), so a clean Local owner need not give up its
+	// state; only a *dirty* Local owner must flush so the locked read
+	// observes the latest value.
+	SnoopRMWRead(addr Addr, source int) (flush bool, data Word)
+
+	// ObserveWrite is invoked for every OpWrite and OpInv transaction by
+	// other devices, including the flush writes generated by read
+	// interrupts.
+	ObserveWrite(op Op, addr Addr, data Word, source int)
+
+	// ObserveReadData is invoked with the data returned by a successfully
+	// completed bus read: the broadcast that lets Invalid copies turn
+	// Readable (the heart of the RB scheme).
+	ObserveReadData(addr Addr, data Word, source int)
+}
+
+// Requester is a device that can be granted the bus. BusGrant is called
+// when the arbiter selects the device; the device returns the transaction
+// it needs *now*, built from its current state, restricted to addresses
+// this bus serves (bank/banks interleaving, Figure 7-1; a single bus is
+// bank 0 of 1). Returning ok=false withdraws the request — the device no
+// longer needs the bus (for this bank), and the arbiter moves on within
+// the same cycle.
+type Requester interface {
+	BusGrant(bank, banks int) (req Request, ok bool)
+}
+
+// Memory is the bus's view of the shared main memory.
+type Memory interface {
+	ReadWord(a Addr) Word
+	WriteWord(a Addr, w Word)
+}
+
+// StallableMemory is an optional Memory extension for memory ports that
+// may be unable to service an access this cycle — the cluster adapter of
+// the hierarchical configuration, whose misses must first complete a
+// transaction on the next bus level. A transaction whose port is not
+// Ready is not executed (no snoop effects, no state change anywhere); the
+// requester's slot stays asserted and the arbiter tries other requesters
+// this cycle.
+type StallableMemory interface {
+	Memory
+	// Ready reports whether the given transaction can complete now. A
+	// not-ready answer is the port's cue to start whatever upper-level
+	// work the transaction needs.
+	Ready(r Request) bool
+}
+
+// RMWMemory is an optional Memory extension for ports that perform the
+// atomic read-modify-write themselves (a cluster adapter delegates it to
+// the global bus so the atomicity is machine-wide, not cluster-wide).
+// When implemented, the bus uses RMW instead of its ReadWord/WriteWord
+// sequence for OpRMW transactions; Ready (if also implemented) has
+// already confirmed the result is available.
+type RMWMemory interface {
+	Memory
+	// RMW returns the old word; if it was 0, the set has already been
+	// performed upstream.
+	RMW(a Addr, set Word) (old Word)
+}
+
+// Stats counts bus activity.
+type Stats struct {
+	Grants      uint64         // grant attempts that produced a transaction
+	Withdrawn   uint64         // grant attempts the requester declined
+	ByOp        [numOps]uint64 // completed transactions by op
+	Stalled     uint64         // grants refused by a not-ready memory port
+	KilledReads uint64         // reads interrupted by a Local owner
+	FlushWrites uint64         // writes generated by read interrupts
+	RMWFlushes  uint64         // dirty-owner flushes forced by locked reads
+	RMWSuccess  uint64         // RMW transactions whose test succeeded
+	RMWFailure  uint64         // RMW transactions whose test failed
+	Retries     uint64         // retried reads granted
+	BusyCycles  uint64         // cycles the bus carried a transaction
+	IdleCycles  uint64         // cycles with no transaction
+	WaitCycles  uint64         // requester-cycles spent with a slot pending
+}
+
+// Transactions returns the total number of completed transactions.
+func (s Stats) Transactions() uint64 {
+	var t uint64
+	for _, c := range s.ByOp {
+		t += c
+	}
+	return t
+}
+
+// Reads returns completed bus reads (including the retried ones).
+func (s Stats) Reads() uint64 { return s.ByOp[OpRead] }
+
+// Writes returns completed bus writes (including flush writes).
+func (s Stats) Writes() uint64 { return s.ByOp[OpWrite] }
+
+// Invalidates returns completed bus invalidate signals.
+func (s Stats) Invalidates() uint64 { return s.ByOp[OpInv] }
+
+// RMWs returns completed read-modify-write transactions.
+func (s Stats) RMWs() uint64 { return s.ByOp[OpRMW] }
+
+// Utilization returns the fraction of elapsed cycles the bus was busy.
+func (s Stats) Utilization() float64 {
+	total := s.BusyCycles + s.IdleCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(total)
+}
+
+// Add accumulates other into s (used to aggregate a Set's buses).
+func (s *Stats) Add(other *Stats) {
+	s.Grants += other.Grants
+	s.Withdrawn += other.Withdrawn
+	s.Stalled += other.Stalled
+	for i := range s.ByOp {
+		s.ByOp[i] += other.ByOp[i]
+	}
+	s.KilledReads += other.KilledReads
+	s.FlushWrites += other.FlushWrites
+	s.RMWFlushes += other.RMWFlushes
+	s.RMWSuccess += other.RMWSuccess
+	s.RMWFailure += other.RMWFailure
+	s.Retries += other.Retries
+	s.BusyCycles += other.BusyCycles
+	s.IdleCycles += other.IdleCycles
+	s.WaitCycles += other.WaitCycles
+}
+
+// Bus is a single shared bus with a round-robin arbiter, driven one cycle
+// at a time via Tick.
+type Bus struct {
+	mem      Memory
+	snoopers []Snooper
+	snoopIDs []int
+	reqs     map[int]Requester
+
+	slots    []int // sources with their request line asserted, FIFO of assertion
+	priority int   // source owed an immediate retry; -1 when none
+	lastWin  int   // last granted source, for round-robin rotation
+
+	// Bank and Banks identify this bus's address interleave (Figure 7-1).
+	// A standalone bus serves every address: bank 0 of 1.
+	Bank, Banks int
+
+	// MemLatency is the number of extra cycles (beyond the transaction's
+	// own cycle) a memory-served transaction holds the bus. Zero matches
+	// the paper's assumption that the bus cycle accommodates the access.
+	MemLatency int
+	busyUntil  uint64 // absolute cycle until which the bus is occupied
+	cycle      uint64
+
+	// Word lock for two-phase read-modify-write: the paper notes "it is
+	// generally considered too expensive to associate a lock with each
+	// memory address", so one lock register serves the whole memory (a
+	// second locker stalls until release).
+	lockHolder int // source holding the lock; -1 when free
+	lockAddr   Addr
+
+	stats Stats
+
+	// Trace, when non-nil, receives every completed transaction; the
+	// figure-reproduction experiments use it to print bus activity.
+	Trace func(cycle uint64, r Request, res Result)
+}
+
+// New creates a bus over the given memory.
+func New(mem Memory) *Bus {
+	if mem == nil {
+		panic("bus: nil memory")
+	}
+	return &Bus{mem: mem, reqs: make(map[int]Requester), priority: -1, lastWin: -1, Banks: 1, lockHolder: -1}
+}
+
+// Locked reports the current lock register (holder -1 when free).
+func (b *Bus) Locked() (holder int, addr Addr) { return b.lockHolder, b.lockAddr }
+
+// blockedByLock reports whether the lock register forces r to wait:
+// while a word is locked, other sources may read it but not write it,
+// RMW it, or take a new lock.
+func (b *Bus) blockedByLock(r *Request) bool {
+	if b.lockHolder == -1 || r.Source == b.lockHolder {
+		return false
+	}
+	switch {
+	case r.Lock:
+		return true // one lock register: any second locker waits
+	case r.Addr != b.lockAddr:
+		return false
+	case r.Op == OpWrite:
+		return true // "Any bus writes before the unlock will fail"
+	case r.Op == OpRMW:
+		return true
+	case r.Op == OpRead:
+		// The location itself is locked: even plain reads wait, so no
+		// cache can gain a (clean-exclusive) copy mid-RMW.
+		return true
+	}
+	return false
+}
+
+// Attach registers a snooper under the given source id. Transactions with
+// Source == id are not offered to that snooper.
+func (b *Bus) Attach(id int, s Snooper) {
+	if s == nil {
+		panic("bus: nil snooper")
+	}
+	for _, existing := range b.snoopIDs {
+		if existing == id {
+			panic(fmt.Sprintf("bus: duplicate snooper id %d", id))
+		}
+	}
+	b.snoopers = append(b.snoopers, s)
+	b.snoopIDs = append(b.snoopIDs, id)
+}
+
+// AttachRequester registers the device that answers grants for source id.
+func (b *Bus) AttachRequester(id int, r Requester) {
+	if r == nil {
+		panic("bus: nil requester")
+	}
+	if _, dup := b.reqs[id]; dup {
+		panic(fmt.Sprintf("bus: duplicate requester id %d", id))
+	}
+	b.reqs[id] = r
+}
+
+// RequestSlot asserts source id's bus-request line. Asserting an already
+// asserted line is a no-op.
+func (b *Bus) RequestSlot(id int) {
+	for _, s := range b.slots {
+		if s == id {
+			return
+		}
+	}
+	if _, ok := b.reqs[id]; !ok {
+		panic(fmt.Sprintf("bus: slot requested for unattached source %d", id))
+	}
+	b.slots = append(b.slots, id)
+}
+
+// CancelSlot deasserts source id's request line (and its priority claim).
+func (b *Bus) CancelSlot(id int) {
+	for i, s := range b.slots {
+		if s == id {
+			b.slots = append(b.slots[:i], b.slots[i+1:]...)
+			break
+		}
+	}
+	if b.priority == id {
+		b.priority = -1
+	}
+}
+
+// PrioritySlot asserts source id's request line with absolute priority:
+// the next grant goes to it ("The original bus read will be retried
+// immediately", Section 3). Only one source may hold priority; a second
+// claim panics, as at most one read can have been killed per cycle.
+func (b *Bus) PrioritySlot(id int) {
+	if b.priority != -1 && b.priority != id {
+		panic(fmt.Sprintf("bus: priority slot already held by %d", b.priority))
+	}
+	if _, ok := b.reqs[id]; !ok {
+		panic(fmt.Sprintf("bus: priority slot for unattached source %d", id))
+	}
+	b.priority = id
+}
+
+// Slotted reports whether source id currently has a request line asserted.
+func (b *Bus) Slotted(id int) bool {
+	if b.priority == id {
+		return true
+	}
+	for _, s := range b.slots {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingLen returns the number of asserted request lines.
+func (b *Bus) PendingLen() int {
+	n := len(b.slots)
+	if b.priority != -1 {
+		n++
+	}
+	return n
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Cycle returns the number of Tick calls so far.
+func (b *Bus) Cycle() uint64 { return b.cycle }
+
+// Tick advances the bus one cycle: the arbiter grants at most one source
+// (priority first, then round-robin by id) and executes the transaction it
+// supplies. granted is false on an idle or busy-hold cycle.
+func (b *Bus) Tick() (req Request, res Result, granted bool) {
+	b.cycle++
+	if b.cycle <= b.busyUntil {
+		// Bus held by a multi-cycle (memory latency) transaction.
+		b.stats.BusyCycles++
+		b.stats.WaitCycles += uint64(b.PendingLen())
+		return Request{}, Result{}, false
+	}
+	b.stats.WaitCycles += uint64(b.PendingLen())
+	var stalled []int
+	defer func() {
+		// Stalled sources keep their request lines asserted.
+		for _, s := range stalled {
+			b.RequestSlot(s)
+		}
+	}()
+	for {
+		source, ok := b.pick()
+		if !ok {
+			b.stats.IdleCycles++
+			return Request{}, Result{}, false
+		}
+		r, want := b.reqs[source].BusGrant(b.Bank, b.Banks)
+		if !want {
+			b.stats.Withdrawn++
+			continue
+		}
+		if b.Banks > 1 && int(r.Addr)&(b.Banks-1) != b.Bank {
+			panic(fmt.Sprintf("bus: source %d supplied addr %d outside bank %d/%d",
+				source, r.Addr, b.Bank, b.Banks))
+		}
+		r.Source = source
+		if b.blockedByLock(&r) {
+			// The word (or the lock register) is held; wait for the
+			// unlock, trying other requesters this cycle.
+			b.stats.Stalled++
+			stalled = append(stalled, source)
+			continue
+		}
+		if sm, isStallable := b.mem.(StallableMemory); isStallable && r.Op != OpInv && !sm.Ready(r) {
+			// The memory port cannot service this transaction yet (it is
+			// now fetching upstream); nothing executed, try another
+			// requester this cycle.
+			b.stats.Stalled++
+			stalled = append(stalled, source)
+			continue
+		}
+		b.stats.Grants++
+		b.stats.BusyCycles++
+		if r.Retry {
+			b.stats.Retries++
+		}
+		result := b.execute(&r)
+		if b.Trace != nil {
+			b.Trace(b.cycle, r, result)
+		}
+		return r, result, true
+	}
+}
+
+// pick removes and returns the next source to grant.
+func (b *Bus) pick() (int, bool) {
+	if b.priority != -1 {
+		s := b.priority
+		b.priority = -1
+		// A priority source may also hold an ordinary slot; clear it.
+		b.CancelSlot(s)
+		b.lastWin = s
+		return s, true
+	}
+	if len(b.slots) == 0 {
+		return 0, false
+	}
+	// Round-robin: grant the source that follows lastWin most closely in
+	// increasing (wrapping) id order.
+	best := -1
+	bestKey := int(^uint(0) >> 1)
+	for i, s := range b.slots {
+		key := s - b.lastWin
+		if key <= 0 {
+			key += 1 << 30
+		}
+		if key < bestKey {
+			bestKey = key
+			best = i
+		}
+	}
+	s := b.slots[best]
+	b.slots = append(b.slots[:best], b.slots[best+1:]...)
+	b.lastWin = s
+	return s, true
+}
+
+// execute performs one transaction against memory and the snoopers.
+func (b *Bus) execute(r *Request) Result {
+	switch r.Op {
+	case OpRead:
+		res := b.executeRead(r)
+		if r.Lock && !res.Killed {
+			// The completed locked read takes the lock register.
+			b.lockHolder, b.lockAddr = r.Source, r.Addr
+		}
+		return res
+	case OpWrite:
+		b.mem.WriteWord(r.Addr, r.Data)
+		b.broadcastWrite(OpWrite, r.Addr, r.Data, r.Source)
+		b.stats.ByOp[OpWrite]++
+		b.release(r)
+		b.hold()
+		return Result{Data: r.Data}
+	case OpInv:
+		b.broadcastWrite(OpInv, r.Addr, 0, r.Source)
+		b.stats.ByOp[OpInv]++
+		b.release(r)
+		// An invalidate is a pure signal; it does not touch memory and
+		// needs no memory hold.
+		return Result{}
+	case OpRMW:
+		return b.executeRMW(r)
+	}
+	panic(fmt.Sprintf("bus: unknown op %d", r.Op))
+}
+
+// release clears the lock register for an Unlock transaction.
+func (b *Bus) release(r *Request) {
+	if !r.Unlock {
+		return
+	}
+	if b.lockHolder != r.Source {
+		panic(fmt.Sprintf("bus: source %d unlocking a lock held by %d", r.Source, b.lockHolder))
+	}
+	b.lockHolder = -1
+}
+
+func (b *Bus) executeRead(r *Request) Result {
+	// Shared-line sample: taken before any snoop reaction so it reflects
+	// the pre-transaction configuration.
+	shared := false
+	for i, s := range b.snoopers {
+		if b.snoopIDs[i] == r.Source {
+			continue
+		}
+		if ch, ok := s.(CopyHolder); ok && ch.HasCopy(r.Addr) {
+			shared = true
+			break
+		}
+	}
+	// Snoop phase: a Local owner interrupts the read.
+	for i, s := range b.snoopers {
+		if b.snoopIDs[i] == r.Source {
+			continue
+		}
+		if inhibit, data := s.SnoopRead(r.Addr, r.Source); inhibit {
+			// The read is killed; its slot carries the owner's bus write,
+			// which updates memory and is observed by everyone else
+			// (including, harmlessly, the original requester's cache).
+			b.mem.WriteWord(r.Addr, data)
+			b.stats.KilledReads++
+			b.stats.FlushWrites++
+			b.stats.ByOp[OpWrite]++
+			b.broadcastWrite(OpWrite, r.Addr, data, b.snoopIDs[i])
+			b.hold()
+			return Result{Killed: true, Data: data}
+		}
+	}
+	// Memory responds; the returned value is broadcast to all snoopers
+	// (they, not the bus, decide whether to take it).
+	data := b.mem.ReadWord(r.Addr)
+	b.stats.ByOp[OpRead]++
+	for i, s := range b.snoopers {
+		if b.snoopIDs[i] == r.Source {
+			continue
+		}
+		s.ObserveReadData(r.Addr, data, r.Source)
+	}
+	b.hold()
+	return Result{Data: data, SharedLine: shared}
+}
+
+func (b *Bus) executeRMW(r *Request) Result {
+	// Locked read: non-cachable, so only a dirty Local owner flushes, and
+	// no read data is broadcast (Figures 6-1/6-2: spinning Test-and-Sets
+	// leave all cache states unchanged).
+	for i, s := range b.snoopers {
+		if b.snoopIDs[i] == r.Source {
+			continue
+		}
+		if flush, data := s.SnoopRMWRead(r.Addr, r.Source); flush {
+			b.mem.WriteWord(r.Addr, data)
+			b.stats.RMWFlushes++
+			break // the lemma guarantees at most one Local owner
+		}
+	}
+	var old Word
+	if rm, delegated := b.mem.(RMWMemory); delegated {
+		// The port performs (or has performed) the atomic cycle itself.
+		old = rm.RMW(r.Addr, r.Data)
+	} else {
+		old = b.mem.ReadWord(r.Addr)
+		if old == 0 {
+			b.mem.WriteWord(r.Addr, r.Data)
+		}
+	}
+	res := Result{Data: old}
+	if old == 0 {
+		// Test succeeded: the write part executed within the locked
+		// transaction; the other caches see a bus write (or, for an RWB
+		// Local claim, a bus invalidate).
+		bc := OpWrite
+		if r.SuccessOp == OpInv {
+			bc = OpInv
+		}
+		b.broadcastWrite(bc, r.Addr, r.Data, r.Source)
+		res.RMWSuccess = true
+		b.stats.RMWSuccess++
+	} else {
+		b.stats.RMWFailure++
+	}
+	b.stats.ByOp[OpRMW]++
+	b.hold()
+	return res
+}
+
+func (b *Bus) broadcastWrite(op Op, addr Addr, data Word, source int) {
+	for i, s := range b.snoopers {
+		if b.snoopIDs[i] == source {
+			continue
+		}
+		s.ObserveWrite(op, addr, data, source)
+	}
+}
+
+// hold occupies the bus for MemLatency additional cycles.
+func (b *Bus) hold() {
+	if b.MemLatency > 0 {
+		b.busyUntil = b.cycle + uint64(b.MemLatency)
+	}
+}

@@ -1,0 +1,147 @@
+package bus
+
+import "testing"
+
+func TestNewSetValidatesSize(t *testing.T) {
+	mem := newFakeMem()
+	for _, bad := range []int{0, 3, 6, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSet(%d) did not panic", bad)
+				}
+			}()
+			NewSet(mem, bad)
+		}()
+	}
+	for _, ok := range []int{1, 2, 4, 8} {
+		s := NewSet(mem, ok)
+		if s.Len() != ok {
+			t.Errorf("NewSet(%d).Len() = %d", ok, s.Len())
+		}
+	}
+}
+
+func TestBankOfInterleavesLowBits(t *testing.T) {
+	s := NewSet(newFakeMem(), 2)
+	if s.BankOf(0) != 0 || s.BankOf(1) != 1 || s.BankOf(2) != 0 || s.BankOf(3) != 1 {
+		t.Fatal("2-bus interleave is not on the least significant bit")
+	}
+	s4 := NewSet(newFakeMem(), 4)
+	for a := Addr(0); a < 16; a++ {
+		if s4.BankOf(a) != int(a%4) {
+			t.Fatalf("BankOf(%d) = %d, want %d", a, s4.BankOf(a), a%4)
+		}
+	}
+}
+
+// perBankReq supplies one write per grant, choosing the address matching
+// the granting bank.
+type perBankReq struct {
+	addrs map[int]Addr // bank -> address to write
+	data  Word
+}
+
+func (r *perBankReq) BusGrant(bank, banks int) (Request, bool) {
+	a, ok := r.addrs[bank]
+	if !ok {
+		return Request{}, false
+	}
+	delete(r.addrs, bank)
+	return Request{Op: OpWrite, Addr: a, Data: r.data}, true
+}
+
+func TestSetParallelGrants(t *testing.T) {
+	mem := newFakeMem()
+	s := NewSet(mem, 2)
+	r0 := &perBankReq{addrs: map[int]Addr{0: 4}, data: 40}
+	r1 := &perBankReq{addrs: map[int]Addr{1: 5}, data: 50}
+	s.AttachRequester(0, r0)
+	s.AttachRequester(1, r1)
+	s.RequestSlot(4, 0)
+	s.RequestSlot(5, 1)
+	grants := s.Tick()
+	if len(grants) != 2 {
+		t.Fatalf("granted %d transactions in one cycle, want 2 (one per bus)", len(grants))
+	}
+	if mem.words[4] != 40 || mem.words[5] != 50 {
+		t.Fatal("writes did not reach memory")
+	}
+	if grants[0].BusIndex != 0 || grants[1].BusIndex != 1 {
+		t.Fatalf("grants = %+v, want bank order", grants)
+	}
+}
+
+func TestSetAttachSnoopsAllBanks(t *testing.T) {
+	mem := newFakeMem()
+	s := NewSet(mem, 2)
+	sn := &recSnooper{}
+	s.Attach(7, sn)
+	r := &perBankReq{addrs: map[int]Addr{0: 0, 1: 1}, data: 9}
+	s.AttachRequester(0, r)
+	s.RequestSlot(0, 0)
+	s.RequestSlot(1, 0)
+	s.Tick()
+	if len(sn.writesSeen) != 2 {
+		t.Fatalf("snooper saw %d writes across banks, want 2", len(sn.writesSeen))
+	}
+}
+
+func TestSetAggregateStats(t *testing.T) {
+	mem := newFakeMem()
+	s := NewSet(mem, 2)
+	s.AttachRequester(0, &perBankReq{addrs: map[int]Addr{0: 0}, data: 1})
+	s.AttachRequester(1, &perBankReq{addrs: map[int]Addr{1: 1}, data: 2})
+	s.RequestSlot(0, 0)
+	s.RequestSlot(1, 1)
+	s.Tick()
+	st := s.Stats()
+	if st.Transactions() != 2 {
+		t.Fatalf("aggregate transactions = %d, want 2", st.Transactions())
+	}
+	per := s.PerBusTransactions()
+	if per[0] != 1 || per[1] != 1 {
+		t.Fatalf("per-bus transactions = %v, want [1 1]", per)
+	}
+}
+
+func TestSetCancelSlotClearsAllBanks(t *testing.T) {
+	s := NewSet(newFakeMem(), 2)
+	s.AttachRequester(0, &perBankReq{addrs: map[int]Addr{}})
+	s.RequestSlot(0, 0)
+	s.RequestSlot(1, 0)
+	s.CancelSlot(0)
+	if s.Bus(0).Slotted(0) || s.Bus(1).Slotted(0) {
+		t.Fatal("CancelSlot left a request line asserted")
+	}
+}
+
+func TestSetPrioritySlot(t *testing.T) {
+	mem := newFakeMem()
+	s := NewSet(mem, 2)
+	s.AttachRequester(0, &perBankReq{addrs: map[int]Addr{1: 1}, data: 7})
+	s.PrioritySlot(1, 0)
+	grants := s.Tick()
+	if len(grants) != 1 || grants[0].BusIndex != 1 {
+		t.Fatalf("grants = %+v, want one on bank 1", grants)
+	}
+}
+
+func TestSetMemLatency(t *testing.T) {
+	mem := newFakeMem()
+	s := NewSet(mem, 2)
+	s.SetMemLatency(1)
+	s.AttachRequester(0, &perBankReq{addrs: map[int]Addr{0: 0}, data: 1})
+	s.AttachRequester(1, &perBankReq{addrs: map[int]Addr{0: 2}, data: 2})
+	s.RequestSlot(0, 0)
+	if got := len(s.Tick()); got != 1 {
+		t.Fatalf("first cycle grants = %d, want 1", got)
+	}
+	s.RequestSlot(2, 1) // same bank 0
+	if got := len(s.Tick()); got != 0 {
+		t.Fatalf("hold cycle grants = %d, want 0", got)
+	}
+	if got := len(s.Tick()); got != 1 {
+		t.Fatalf("post-hold grants = %d, want 1", got)
+	}
+}

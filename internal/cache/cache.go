@@ -1,0 +1,828 @@
+// Package cache implements the private per-processor cache of the paper's
+// machine: a direct-mapped (optionally set-associative), one-word-block tag
+// store driven by a coherence.Protocol, with a processor port, a bus
+// request/grant port, and a snoop port.
+//
+// A cache has at most one outstanding processor operation — the PE blocks
+// until its access completes (paper assumption 5) — but an operation may
+// require several bus transactions (a victim write-back before a miss,
+// Goodman's read-then-write miss, a retried read after a Local owner's
+// interrupt). The cache re-derives the transaction it needs every time it
+// is granted the bus, because snooped traffic can change the line's state
+// while the request line is asserted: a planned write-back becomes
+// unnecessary (or wrong!) once the victim has been invalidated, and a
+// pending RWB read can be satisfied outright by a snarfed bus write.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/coherence"
+)
+
+// Config sizes a cache.
+type Config struct {
+	// Lines is the total number of one-word line frames. Must be a
+	// positive power of two. Table 1-1 uses 256..2048.
+	Lines int
+	// Ways is the set associativity; 1 (the default if zero) is the
+	// paper's direct-mapped organization ("A direct-mapping cache with a
+	// one word blocksize is assumed"). Must divide Lines.
+	Ways int
+}
+
+func (c Config) normalized() Config {
+	if c.Ways == 0 {
+		c.Ways = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Lines <= 0 || c.Lines&(c.Lines-1) != 0 {
+		return fmt.Errorf("cache: Lines = %d, need a positive power of two", c.Lines)
+	}
+	if c.Ways <= 0 || c.Lines%c.Ways != 0 {
+		return fmt.Errorf("cache: Ways = %d does not divide Lines = %d", c.Ways, c.Lines)
+	}
+	return nil
+}
+
+// line is one tag-store entry.
+type line struct {
+	valid   bool
+	addr    bus.Addr
+	state   coherence.State
+	aux     uint8
+	dirty   bool
+	data    bus.Word
+	lastUse uint64
+}
+
+// ClassStats breaks processor accesses down by reference class — the
+// columns of Table 1-1. A "miss" is any access that needed bus activity,
+// which for the Cm* baseline includes every write-through local write and
+// every uncached shared reference, exactly as Raskin's experiment counted
+// them.
+type ClassStats struct {
+	Reads       uint64
+	ReadMisses  uint64
+	Writes      uint64
+	WriteMisses uint64
+}
+
+// Stats counts cache activity, with the miss-class breakdown Table 1-1
+// reports.
+type Stats struct {
+	ByClass       [4]ClassStats // indexed by coherence.Class
+	Reads         uint64        // processor read requests
+	Writes        uint64        // processor write requests
+	RMWs          uint64        // processor Test-and-Set requests
+	ReadHits      uint64
+	WriteHits     uint64 // writes satisfied with no bus activity
+	LocalRMWs     uint64 // Test-and-Sets completed inside the cache
+	Evictions     uint64 // frames reassigned to a new address
+	Writebacks    uint64 // eviction write-backs performed
+	Snarfs        uint64 // values adopted from observed transactions
+	InvalidatedBy uint64 // lines invalidated by observed traffic
+	FlushSupplied uint64 // bus reads this cache interrupted and serviced
+	RMWFlushes    uint64 // locked-read flushes supplied
+	Retries       uint64 // reads re-issued after an interrupt
+	Bypasses      uint64 // non-cachable accesses sent straight to the bus
+}
+
+// MissRatio returns 1 - hits/accesses over reads and writes (Test-and-Sets
+// excluded: the paper accounts for them separately in Section 6).
+func (s *Stats) MissRatio() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	hits := s.ReadHits + s.WriteHits
+	return 1 - float64(hits)/float64(total)
+}
+
+// pending is the cache's single in-flight processor operation.
+type pending struct {
+	ev    coherence.ProcEvent
+	class coherence.Class
+	addr  bus.Addr
+	data  bus.Word // value to write / to set on RMW success
+	rmw   bool
+	retry bool // the read was killed; re-issue with Retry set
+	// Two-phase Test-and-Set support (the paper's textual "read with
+	// lock" / "store back and unlock" realization):
+	lockRead bool // phase 1: non-cachable locked bus read
+	unlock   bool // phase 2: the write releases the bus lock
+	bypass   bool // force a non-cachable transaction regardless of class
+}
+
+// Progress reports what a completed bus transaction did for the cache's
+// pending operation.
+type Progress uint8
+
+const (
+	// ProgressDone: the operation completed; TakeResolved yields its value.
+	ProgressDone Progress = iota
+	// ProgressMore: further bus work is needed (ask WantsBus and re-slot).
+	ProgressMore
+	// ProgressMoreUrgent: further bus work is needed and must be granted
+	// ahead of ordinary requests — the write leg of a fetch-then-write
+	// miss, which would otherwise livelock under heavy invalidation
+	// traffic (the fetched line can be invalidated before the write ever
+	// wins arbitration).
+	ProgressMoreUrgent
+	// ProgressRetry: the read was interrupted; re-slot with priority.
+	ProgressRetry
+)
+
+// ResolveInfo describes a completed processor operation at the moment its
+// result value binds. The machine's sequential-consistency oracle hooks
+// this: the binding moment — not the (possibly later) delivery to the
+// processor — is the operation's position in the serialization order of
+// the Section 4 proof.
+type ResolveInfo struct {
+	RMW   bool
+	Ev    coherence.ProcEvent
+	Addr  bus.Addr
+	Data  bus.Word // value written (stores) or set on success (RMW)
+	Value bus.Word // bound result: loaded value, or the RMW's old word
+}
+
+// Cache is one processing element's private cache.
+type Cache struct {
+	id    int
+	proto coherence.Protocol
+	cfg   Config
+	sets  [][]line
+	nsets int
+
+	useClock uint64
+	pend     *pending
+	resolved *bus.Word // completion value awaiting pickup
+
+	// OnResolve, when non-nil, is invoked synchronously whenever an
+	// operation's result binds — on cache hits, bus completions, and
+	// snoop-satisfied resolutions alike.
+	OnResolve func(ResolveInfo)
+
+	stats Stats
+}
+
+// New creates a cache for PE id using the given protocol.
+func New(id int, proto coherence.Protocol, cfg Config) (*Cache, error) {
+	cfg = cfg.normalized()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("cache: nil protocol")
+	}
+	nsets := cfg.Lines / cfg.Ways
+	sets := make([][]line, nsets)
+	backing := make([]line, cfg.Lines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{id: id, proto: proto, cfg: cfg, sets: sets, nsets: nsets}, nil
+}
+
+// MustNew is New panicking on error, for tests and fixed-config tools.
+func MustNew(id int, proto coherence.Protocol, cfg Config) *Cache {
+	c, err := New(id, proto, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID returns the PE/bus source id.
+func (c *Cache) ID() int { return c.id }
+
+// Protocol returns the cache's coherence scheme.
+func (c *Cache) Protocol() coherence.Protocol { return c.proto }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setFor returns the set index of an address.
+func (c *Cache) setFor(a bus.Addr) int { return int(a) & (c.nsets - 1) }
+
+// lookup returns the line holding addr, or nil.
+func (c *Cache) lookup(a bus.Addr) *line {
+	set := c.sets[c.setFor(a)]
+	for i := range set {
+		if set[i].valid && set[i].addr == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup exposes a line's protocol state for diagnostics and the figure
+// renderings: it returns the state, the cached value, and whether the
+// address is present at all.
+func (c *Cache) Lookup(a bus.Addr) (coherence.State, bus.Word, bool) {
+	if ln := c.lookup(a); ln != nil {
+		return ln.state, ln.data, true
+	}
+	return coherence.NotPresent, 0, false
+}
+
+// Busy reports whether an operation is in flight.
+func (c *Cache) Busy() bool { return c.pend != nil || c.resolved != nil }
+
+// touch updates the line's LRU stamp.
+func (c *Cache) touch(ln *line) {
+	c.useClock++
+	ln.lastUse = c.useClock
+}
+
+// applyDirty folds a DirtyEffect into a line.
+func applyDirty(ln *line, d coherence.DirtyEffect) {
+	switch d {
+	case coherence.DirtySet:
+		ln.dirty = true
+	case coherence.DirtyClear:
+		ln.dirty = false
+	}
+}
+
+// Access offers a processor read or write. If it completes without the bus
+// (a hit the protocol satisfies locally), done is true and value carries
+// the read result. Otherwise the operation is left pending; the caller
+// must assert a bus slot at WantsBusAddr and feed grants/completions back.
+func (c *Cache) Access(ev coherence.ProcEvent, a bus.Addr, data bus.Word, class coherence.Class) (done bool, value bus.Word) {
+	if c.Busy() {
+		panic(fmt.Sprintf("cache %d: Access while busy", c.id))
+	}
+	cls := &c.stats.ByClass[int(class)&3]
+	if ev == coherence.EvRead {
+		c.stats.Reads++
+		cls.Reads++
+	} else {
+		c.stats.Writes++
+		cls.Writes++
+	}
+	if !c.proto.Cachable(class, ev) {
+		c.stats.Bypasses++
+		c.countMiss(cls, ev)
+		c.pend = &pending{ev: ev, class: class, addr: a, data: data}
+		return false, 0
+	}
+	if ln := c.lookup(a); ln != nil {
+		out := c.proto.OnProc(ln.state, ln.aux, ev)
+		if out.Action == coherence.ActNone {
+			ln.state, ln.aux = out.Next, out.NextAux
+			applyDirty(ln, out.Dirty)
+			if ev == coherence.EvWrite {
+				ln.data = data
+				c.stats.WriteHits++
+			} else {
+				c.stats.ReadHits++
+			}
+			c.touch(ln)
+			c.fire(false, ev, a, data, ln.data)
+			return true, ln.data
+		}
+	}
+	c.countMiss(cls, ev)
+	c.pend = &pending{ev: ev, class: class, addr: a, data: data}
+	return false, 0
+}
+
+func (c *Cache) countMiss(cls *ClassStats, ev coherence.ProcEvent) {
+	if ev == coherence.EvRead {
+		cls.ReadMisses++
+	} else {
+		cls.WriteMisses++
+	}
+}
+
+// fire reports a bound result to the OnResolve hook.
+func (c *Cache) fire(rmw bool, ev coherence.ProcEvent, a bus.Addr, data, value bus.Word) {
+	if c.OnResolve != nil {
+		c.OnResolve(ResolveInfo{RMW: rmw, Ev: ev, Addr: a, Data: data, Value: value})
+	}
+}
+
+// resolve finishes the pending operation p, binding value as its result.
+func (c *Cache) resolve(p *pending, value bus.Word) {
+	c.pend = nil
+	v := value
+	c.resolved = &v
+	c.fire(p.rmw, p.ev, p.addr, p.data, value)
+}
+
+// AccessRMW offers a Test-and-Set of setVal against addr. If the line is
+// held in a state where the protocol allows a purely local RMW, it
+// completes immediately; otherwise a bus OpRMW is left pending. The value
+// delivered on completion is the *old* word (0 means the test succeeded).
+func (c *Cache) AccessRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word) {
+	if c.Busy() {
+		panic(fmt.Sprintf("cache %d: AccessRMW while busy", c.id))
+	}
+	c.stats.RMWs++
+	if ln := c.lookup(a); ln != nil && c.proto.LocalRMW(ln.state) {
+		c.stats.LocalRMWs++
+		old = ln.data
+		if old == 0 {
+			out := c.proto.OnProc(ln.state, ln.aux, coherence.EvWrite)
+			// LocalRMW states satisfy writes locally by construction.
+			ln.state, ln.aux = out.Next, out.NextAux
+			applyDirty(ln, out.Dirty)
+			ln.data = setVal
+		}
+		c.touch(ln)
+		c.fire(true, coherence.EvWrite, a, setVal, old)
+		return true, old
+	}
+	c.pend = &pending{ev: coherence.EvWrite, addr: a, data: setVal, rmw: true}
+	return false, 0
+}
+
+// TryLocalRMW attempts the in-cache Test-and-Set fast path (exclusive
+// latest copy); it reports whether it completed, without falling back to
+// a bus operation.
+func (c *Cache) TryLocalRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word) {
+	ln := c.lookup(a)
+	if ln == nil || !c.proto.LocalRMW(ln.state) {
+		return false, 0
+	}
+	c.stats.RMWs++
+	c.stats.LocalRMWs++
+	old = ln.data
+	if old == 0 {
+		out := c.proto.OnProc(ln.state, ln.aux, coherence.EvWrite)
+		ln.state, ln.aux = out.Next, out.NextAux
+		applyDirty(ln, out.Dirty)
+		ln.data = setVal
+	}
+	c.touch(ln)
+	c.fire(true, coherence.EvWrite, a, setVal, old)
+	return true, old
+}
+
+// AccessLockedRead issues phase 1 of a two-phase Test-and-Set: the
+// paper's non-cachable "read with lock" bus operation. The delivered
+// value is the locked word; the caller must follow with
+// AccessUnlockWrite.
+func (c *Cache) AccessLockedRead(a bus.Addr) {
+	if c.Busy() {
+		panic(fmt.Sprintf("cache %d: AccessLockedRead while busy", c.id))
+	}
+	c.stats.RMWs++
+	c.pend = &pending{ev: coherence.EvRead, addr: a, lockRead: true, bypass: true}
+}
+
+// AccessUnlockWrite issues phase 2: the "modified value is stored back
+// into the shared memory cell and the lock removed". cached selects the
+// successful path (a real write that follows the protocol's write
+// transition, taking the line Local under RB) versus the failed path (the
+// old value is restored without touching any cache state, matching the
+// paper's treatment of a failed Test-and-Set as non-cachable).
+func (c *Cache) AccessUnlockWrite(a bus.Addr, v bus.Word, cached bool) {
+	if c.Busy() {
+		panic(fmt.Sprintf("cache %d: AccessUnlockWrite while busy", c.id))
+	}
+	c.pend = &pending{ev: coherence.EvWrite, addr: a, data: v, unlock: true, bypass: !cached}
+}
+
+// WantsBus reports whether the cache needs a bus grant, and for which
+// address (the machine uses the address to pick the bank, Figure 7-1).
+// The needed address can change as snooped traffic changes line states;
+// callers should re-check after every bus cycle.
+func (c *Cache) WantsBus() (bus.Addr, bool) {
+	if c.pend == nil {
+		return 0, false
+	}
+	req, need, _ := c.plan()
+	if !need {
+		return 0, false
+	}
+	return req.Addr, true
+}
+
+// NeedsPriority reports whether the pending operation is an interrupted
+// read owed an immediate retry.
+func (c *Cache) NeedsPriority() bool { return c.pend != nil && c.pend.retry }
+
+// plan derives the bus transaction the pending operation needs right now.
+// need=false with resolvedLocally=true means the operation just completed
+// without the bus (state changed under us); need=false with
+// resolvedLocally=false cannot happen while pend != nil.
+func (c *Cache) plan() (req bus.Request, need bool, resolvedLocally bool) {
+	p := c.pend
+	if p == nil {
+		return bus.Request{}, false, false
+	}
+	if p.rmw {
+		return c.planRMW(p)
+	}
+	if p.bypass || !c.proto.Cachable(p.class, p.ev) {
+		op := bus.OpRead
+		if p.ev == coherence.EvWrite {
+			op = bus.OpWrite
+		}
+		return bus.Request{Source: c.id, Op: op, Addr: p.addr, Data: p.data,
+			Retry: p.retry, Lock: p.lockRead, Unlock: p.unlock}, true, false
+	}
+	ln := c.lookup(p.addr)
+	state, aux := coherence.Invalid, uint8(0)
+	if ln != nil {
+		state, aux = ln.state, ln.aux
+	}
+	out := c.proto.OnProc(state, aux, p.ev)
+	if out.Action == coherence.ActNone && p.unlock {
+		// The protocol could satisfy this write in-cache (e.g. Illinois's
+		// silent Exclusive upgrade), but an unlocking write must reach
+		// the bus regardless — the lock register is waiting on it.
+		return bus.Request{Source: c.id, Op: bus.OpWrite, Addr: p.addr, Data: p.data, Unlock: true}, true, false
+	}
+	if out.Action == coherence.ActNone {
+		// A snooped transaction satisfied the access while we waited
+		// (e.g. RWB snarfed the value we were about to read).
+		c.completeLocally(ln, out)
+		return bus.Request{}, false, true
+	}
+	// Allocation: if the line is absent and will be installed, the victim
+	// frame may need a write-back first.
+	if ln == nil && !out.NoAllocate {
+		if victim := c.victim(p.addr); victim.valid && c.proto.WritebackOnEvict(victim.state, victim.dirty) {
+			return bus.Request{Source: c.id, Op: bus.OpWrite, Addr: victim.addr, Data: victim.data}, true, false
+		}
+	}
+	switch out.Action {
+	case coherence.ActRead, coherence.ActReadThenWrite:
+		return bus.Request{Source: c.id, Op: bus.OpRead, Addr: p.addr, Retry: p.retry}, true, false
+	case coherence.ActWrite:
+		return bus.Request{Source: c.id, Op: bus.OpWrite, Addr: p.addr, Data: p.data, Unlock: p.unlock}, true, false
+	case coherence.ActInv:
+		return bus.Request{Source: c.id, Op: bus.OpInv, Addr: p.addr, Unlock: p.unlock}, true, false
+	}
+	panic(fmt.Sprintf("cache %d: unplannable action %v", c.id, out.Action))
+}
+
+func (c *Cache) planRMW(p *pending) (bus.Request, bool, bool) {
+	ln := c.lookup(p.addr)
+	if ln != nil && c.proto.LocalRMW(ln.state) {
+		// The line turned exclusive while we waited; finish in-cache.
+		c.stats.LocalRMWs++
+		old := ln.data
+		if old == 0 {
+			out := c.proto.OnProc(ln.state, ln.aux, coherence.EvWrite)
+			ln.state, ln.aux = out.Next, out.NextAux
+			applyDirty(ln, out.Dirty)
+			ln.data = p.data
+		}
+		c.touch(ln)
+		c.resolve(p, old)
+		return bus.Request{}, false, true
+	}
+	state, aux := coherence.Invalid, uint8(0)
+	if ln != nil {
+		state, aux = ln.state, ln.aux
+	}
+	next, _, broadcast := c.proto.RMWSuccess(state, aux)
+	// If success will install the line, a victim write-back may be owed.
+	if ln == nil && next != coherence.Invalid {
+		if victim := c.victim(p.addr); victim.valid && c.proto.WritebackOnEvict(victim.state, victim.dirty) {
+			return bus.Request{Source: c.id, Op: bus.OpWrite, Addr: victim.addr, Data: victim.data}, true, false
+		}
+	}
+	successOp := bus.OpWrite
+	if broadcast == coherence.ActInv {
+		successOp = bus.OpInv
+	}
+	return bus.Request{Source: c.id, Op: bus.OpRMW, Addr: p.addr, Data: p.data, SuccessOp: successOp}, true, false
+}
+
+// completeLocally finishes the pending op against a (possibly nil) line.
+func (c *Cache) completeLocally(ln *line, out coherence.ProcOutcome) {
+	p := c.pend
+	var v bus.Word
+	if ln != nil {
+		ln.state, ln.aux = out.Next, out.NextAux
+		applyDirty(ln, out.Dirty)
+		if p.ev == coherence.EvWrite {
+			ln.data = p.data
+			c.stats.WriteHits++
+		} else {
+			c.stats.ReadHits++
+		}
+		c.touch(ln)
+		v = ln.data
+	}
+	c.resolve(p, v)
+}
+
+// victim returns the frame that would hold addr, choosing the
+// least-recently-used way. It never returns the frame of addr itself (the
+// caller checked the address is absent).
+func (c *Cache) victim(a bus.Addr) *line {
+	set := c.sets[c.setFor(a)]
+	best := &set[0]
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			return ln
+		}
+		if ln.lastUse < best.lastUse {
+			best = ln
+		}
+	}
+	return best
+}
+
+// install places addr into its set, evicting the LRU way. The victim was
+// already written back if the protocol required it (plan schedules the
+// write-back transaction before the installing one).
+func (c *Cache) install(a bus.Addr, st coherence.State, aux uint8, dirty bool, data bus.Word) *line {
+	ln := c.victim(a)
+	if ln.valid {
+		c.stats.Evictions++
+	}
+	*ln = line{valid: true, addr: a, state: st, aux: aux, dirty: dirty, data: data}
+	c.touch(ln)
+	return ln
+}
+
+// BusGrant implements bus.Requester: the arbiter granted us the bus
+// serving (bank, banks); supply the transaction or withdraw.
+func (c *Cache) BusGrant(bank, banks int) (bus.Request, bool) {
+	req, need, _ := c.plan()
+	if !need {
+		return bus.Request{}, false
+	}
+	if banks > 1 && int(req.Addr)&(banks-1) != bank {
+		// Our next transaction belongs to another bank; withdraw here.
+		return bus.Request{}, false
+	}
+	return req, true
+}
+
+// BusCompleted folds the result of our own granted transaction back into
+// the cache and reports how the pending operation progressed.
+func (c *Cache) BusCompleted(req bus.Request, res bus.Result) Progress {
+	p := c.pend
+	if p == nil {
+		panic(fmt.Sprintf("cache %d: BusCompleted with nothing pending", c.id))
+	}
+	// A transaction for a different address is a victim write-back: the
+	// frame is freed (an eviction) and the pending miss continues.
+	if req.Addr != p.addr {
+		if ln := c.lookup(req.Addr); ln != nil {
+			c.stats.Writebacks++
+			c.stats.Evictions++
+			ln.valid = false
+			ln.dirty = false
+		}
+		return ProgressMore
+	}
+	if p.rmw {
+		return c.rmwCompleted(p, req, res)
+	}
+	switch req.Op {
+	case bus.OpRead:
+		if res.Killed {
+			// Interrupted by the Local owner; "retried immediately".
+			p.retry = true
+			c.stats.Retries++
+			return ProgressRetry
+		}
+		return c.readCompleted(p, res)
+	case bus.OpWrite:
+		return c.writeCompleted(p)
+	case bus.OpInv:
+		return c.invCompleted(p)
+	}
+	panic(fmt.Sprintf("cache %d: unexpected completed op %v", c.id, req.Op))
+}
+
+func (c *Cache) readCompleted(p *pending, res bus.Result) Progress {
+	if p.bypass || !c.proto.Cachable(p.class, p.ev) {
+		// Uncached (or locked) read: deliver without installing.
+		c.resolve(p, res.Data)
+		return ProgressDone
+	}
+	p.retry = false // the (possibly retried) read part is done
+	ln := c.lookup(p.addr)
+	state, aux := coherence.Invalid, uint8(0)
+	if ln != nil {
+		state, aux = ln.state, ln.aux
+	}
+	out := c.proto.OnProc(state, aux, coherence.EvRead)
+	// Install (or refresh) the line with the fetched word in the
+	// protocol's read-miss target state; shared-line-aware protocols
+	// (Illinois) pick the state from the bus's shared signal instead.
+	next := out.Next
+	if sa, ok := c.proto.(coherence.SharedAware); ok {
+		next = sa.ReadMissTarget(res.SharedLine)
+	}
+	if ln == nil {
+		ln = c.install(p.addr, next, out.NextAux, false, res.Data)
+	} else {
+		ln.state, ln.aux = next, out.NextAux
+		applyDirty(ln, out.Dirty)
+		ln.data = res.Data
+		c.touch(ln)
+	}
+	if p.ev == coherence.EvWrite {
+		// Fetch-then-write miss: the read part is done; the write part
+		// follows and must win the bus before snooped invalidations can
+		// undo the fetch.
+		return ProgressMoreUrgent
+	}
+	c.resolve(p, res.Data)
+	return ProgressDone
+}
+
+func (c *Cache) writeCompleted(p *pending) Progress {
+	if p.bypass || !c.proto.Cachable(p.class, p.ev) {
+		c.resolve(p, p.data)
+		return ProgressDone
+	}
+	ln := c.lookup(p.addr)
+	state, aux := coherence.Invalid, uint8(0)
+	if ln != nil {
+		state, aux = ln.state, ln.aux
+	}
+	out := c.proto.OnProc(state, aux, coherence.EvWrite)
+	if out.NoAllocate {
+		if ln != nil {
+			// Write-through no-allocate protocols keep an existing copy
+			// coherent on a write hit.
+			ln.state, ln.aux = out.Next, out.NextAux
+			applyDirty(ln, out.Dirty)
+			ln.data = p.data
+			c.touch(ln)
+		}
+	} else if ln == nil {
+		ln = c.install(p.addr, out.Next, out.NextAux, out.Dirty == coherence.DirtySet, p.data)
+	} else {
+		ln.state, ln.aux = out.Next, out.NextAux
+		applyDirty(ln, out.Dirty)
+		ln.data = p.data
+		c.touch(ln)
+	}
+	c.resolve(p, p.data)
+	return ProgressDone
+}
+
+func (c *Cache) invCompleted(p *pending) Progress {
+	ln := c.lookup(p.addr)
+	if ln == nil {
+		panic(fmt.Sprintf("cache %d: BI completed for absent line %d", c.id, p.addr))
+	}
+	out := c.proto.OnProc(ln.state, ln.aux, coherence.EvWrite)
+	ln.state, ln.aux = out.Next, out.NextAux
+	applyDirty(ln, out.Dirty)
+	ln.data = p.data
+	c.touch(ln)
+	c.resolve(p, p.data)
+	return ProgressDone
+}
+
+func (c *Cache) rmwCompleted(p *pending, req bus.Request, res bus.Result) Progress {
+	old := res.Data
+	if res.RMWSuccess {
+		ln := c.lookup(p.addr)
+		state, aux := coherence.Invalid, uint8(0)
+		if ln != nil {
+			state, aux = ln.state, ln.aux
+		}
+		next, nextAux, _ := c.proto.RMWSuccess(state, aux)
+		if next != coherence.Invalid {
+			// The locked transaction updated memory, so the line is clean
+			// even when the broadcast was an invalidate.
+			if ln == nil {
+				c.install(p.addr, next, nextAux, false, p.data)
+			} else {
+				ln.state, ln.aux = next, nextAux
+				ln.dirty = false
+				ln.data = p.data
+				c.touch(ln)
+			}
+		} else if ln != nil {
+			// Protocols that do not retain RMW targets drop the copy.
+			ln.valid = false
+		}
+	}
+	c.resolve(p, old)
+	return ProgressDone
+}
+
+// TakeResolved delivers and clears a completed operation's value.
+func (c *Cache) TakeResolved() (bus.Word, bool) {
+	if c.resolved == nil {
+		return 0, false
+	}
+	v := *c.resolved
+	c.resolved = nil
+	return v, true
+}
+
+// HasCopy implements bus.CopyHolder: the cache drives the shared line
+// when it holds a valid copy.
+func (c *Cache) HasCopy(a bus.Addr) bool {
+	ln := c.lookup(a)
+	return ln != nil && ln.state != coherence.Invalid
+}
+
+// --- snoop port (bus.Snooper) ---
+
+// SnoopRead implements bus.Snooper.
+func (c *Cache) SnoopRead(a bus.Addr, source int) (bool, bus.Word) {
+	ln := c.lookup(a)
+	if ln == nil {
+		return false, 0
+	}
+	out := c.proto.OnSnoop(ln.state, ln.aux, ln.dirty, coherence.SnBusRead)
+	data := ln.data
+	ln.state, ln.aux = out.Next, out.NextAux
+	applyDirty(ln, out.Dirty)
+	if out.Inhibit {
+		c.stats.FlushSupplied++
+		return true, data
+	}
+	return false, 0
+}
+
+// SnoopRMWRead implements bus.Snooper.
+func (c *Cache) SnoopRMWRead(a bus.Addr, source int) (bool, bus.Word) {
+	ln := c.lookup(a)
+	if ln == nil {
+		return false, 0
+	}
+	flush, next, d := c.proto.RMWFlush(ln.state, ln.dirty)
+	if !flush {
+		return false, 0
+	}
+	data := ln.data
+	ln.state = next
+	applyDirty(ln, d)
+	c.stats.RMWFlushes++
+	return true, data
+}
+
+// ObserveWrite implements bus.Snooper.
+func (c *Cache) ObserveWrite(op bus.Op, a bus.Addr, d bus.Word, source int) {
+	ln := c.lookup(a)
+	if ln == nil {
+		return
+	}
+	ev := coherence.SnBusWrite
+	if op == bus.OpInv {
+		ev = coherence.SnBusInv
+	}
+	wasUsable := ln.state != coherence.Invalid
+	out := c.proto.OnSnoop(ln.state, ln.aux, ln.dirty, ev)
+	ln.state, ln.aux = out.Next, out.NextAux
+	applyDirty(ln, out.Dirty)
+	if out.TakeData {
+		ln.data = d
+		c.stats.Snarfs++
+	}
+	if wasUsable && ln.state == coherence.Invalid {
+		c.stats.InvalidatedBy++
+	}
+}
+
+// ObserveReadData implements bus.Snooper.
+func (c *Cache) ObserveReadData(a bus.Addr, d bus.Word, source int) {
+	ln := c.lookup(a)
+	if ln == nil {
+		return
+	}
+	out := c.proto.OnSnoop(ln.state, ln.aux, ln.dirty, coherence.SnReadData)
+	ln.state, ln.aux = out.Next, out.NextAux
+	applyDirty(ln, out.Dirty)
+	if out.TakeData {
+		ln.data = d
+		c.stats.Snarfs++
+	}
+}
+
+// Contents returns every valid line (address, state, value), used by the
+// fault-recovery experiment to scavenge clean copies.
+type Entry struct {
+	Addr  bus.Addr
+	State coherence.State
+	Dirty bool
+	Data  bus.Word
+}
+
+// Entries lists all valid lines in ascending address order is NOT
+// guaranteed; callers sort if they need determinism.
+func (c *Cache) Entries() []Entry {
+	var out []Entry
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				out = append(out, Entry{Addr: set[i].addr, State: set[i].state, Dirty: set[i].dirty, Data: set[i].data})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package coherence
+
+import "fmt"
+
+// CmStar emulates the cache configuration of the paper's motivating
+// measurements (Table 1-1, from Raskin's Cm* experiments): "only code and
+// local data were considered cachable and a write-through policy was
+// adopted for local data. Thus writes to local data were counted as cache
+// misses since they caused communication external to the processor/cache.
+// All references to shared (non-code) data also caused a cache miss."
+//
+// Unlike the paper's schemes, this baseline is not transparent: it needs
+// the reference's class (which the Cm* experiments knew statically) to
+// decide cachability. There is no coherence problem to solve — shared data
+// never enters the cache — so snooping is a no-op.
+type CmStar struct{}
+
+// Name implements Protocol.
+func (CmStar) Name() string { return "cmstar" }
+
+// States implements Protocol.
+func (CmStar) States() []State { return []State{Invalid, Valid} }
+
+// OnProc implements Protocol. Class-dependent behavior is expressed via
+// Cachable: the cache layer only consults OnProc for cachable references,
+// and issues uncached bus traffic for the rest.
+func (CmStar) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
+	switch s {
+	case Invalid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActRead, Dirty: DirtyClear}
+		}
+		// Local-data write miss: write through, no allocate.
+		return ProcOutcome{Next: Invalid, Action: ActWrite, NoAllocate: true}
+	case Valid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActNone}
+		}
+		// Local-data write hit: update the copy and write through — still
+		// external communication, hence a "miss" in Table 1-1's counting.
+		return ProcOutcome{Next: Valid, Action: ActWrite, Dirty: DirtyClear}
+	}
+	panic(fmt.Sprintf("cmstar: OnProc from foreign state %v", s))
+}
+
+// OnSnoop implements Protocol: Cm* caches hold only code and private data,
+// so observed bus traffic never concerns a cached line; nothing reacts.
+func (CmStar) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcome {
+	switch s {
+	case Invalid:
+		return SnoopOutcome{Next: Invalid}
+	case Valid:
+		return SnoopOutcome{Next: Valid}
+	}
+	panic(fmt.Sprintf("cmstar: OnSnoop from foreign state %v", s))
+}
+
+// RMWFlush implements Protocol: shared data is never cached, so a locked
+// read always finds memory current.
+func (CmStar) RMWFlush(s State, dirty bool) (bool, State, DirtyEffect) {
+	return false, s, DirtyKeep
+}
+
+// RMWSuccess implements Protocol: Test-and-Set targets shared data, which
+// stays out of the cache.
+func (CmStar) RMWSuccess(s State, aux uint8) (State, uint8, Action) {
+	return Invalid, 0, ActWrite
+}
+
+// Cachable implements Protocol: only code and local data enter the cache.
+func (CmStar) Cachable(c Class, e ProcEvent) bool {
+	switch c {
+	case ClassCode, ClassLocal:
+		return true
+	default:
+		// Shared and unclassified references bypass the cache entirely.
+		return false
+	}
+}
+
+// WritebackOnEvict implements Protocol: write-through keeps memory current.
+func (CmStar) WritebackOnEvict(s State, dirty bool) bool { return false }
+
+// LocalRMW implements Protocol: shared data is never cached.
+func (CmStar) LocalRMW(s State) bool { return false }

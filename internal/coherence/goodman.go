@@ -1,0 +1,121 @@
+package coherence
+
+import "fmt"
+
+// Goodman implements the write-once scheme of [GOO83] ("Using Cache Memory
+// to Reduce Processor-Memory Traffic"), the design the paper's schemes
+// extend. The paper classifies it as "event broadcasting": caches note the
+// occurrence of bus reads and writes but never the data, so — unlike RB —
+// an Invalid copy cannot be refreshed by someone else's bus read, and —
+// unlike RWB — a bus write always invalidates rather than updates.
+//
+// States: Invalid, Valid (clean, possibly shared), Reserved (written
+// exactly once since fetched; memory current; no other copies), DirtyState
+// (written more than once; memory stale; sole copy).
+type Goodman struct{}
+
+// Name implements Protocol.
+func (Goodman) Name() string { return "goodman" }
+
+// States implements Protocol.
+func (Goodman) States() []State { return []State{Invalid, Valid, Reserved, DirtyState} }
+
+// OnProc implements Protocol.
+func (Goodman) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
+	switch s {
+	case Invalid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActRead, Dirty: DirtyClear}
+		}
+		// Write miss: fetch the line, then write through once (the
+		// "write-once" that gives the scheme its name).
+		return ProcOutcome{Next: Reserved, Action: ActReadThenWrite, Dirty: DirtyClear}
+	case Valid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActNone}
+		}
+		// First write: write through, invalidating all other copies, and
+		// reserve the line.
+		return ProcOutcome{Next: Reserved, Action: ActWrite, Dirty: DirtyClear}
+	case Reserved:
+		if e == EvRead {
+			return ProcOutcome{Next: Reserved, Action: ActNone}
+		}
+		// Second write: purely local; memory is now stale.
+		return ProcOutcome{Next: DirtyState, Action: ActNone, Dirty: DirtySet}
+	case DirtyState:
+		if e == EvRead {
+			return ProcOutcome{Next: DirtyState, Action: ActNone}
+		}
+		return ProcOutcome{Next: DirtyState, Action: ActNone, Dirty: DirtySet}
+	}
+	panic(fmt.Sprintf("goodman: OnProc from foreign state %v", s))
+}
+
+// OnSnoop implements Protocol. Note the two deliberate non-reactions that
+// distinguish event broadcasting from the paper's data broadcasting:
+// Invalid ignores SnReadData, and every holder of a copy is invalidated
+// (never updated) by a bus write.
+func (Goodman) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcome {
+	switch s {
+	case Invalid:
+		return SnoopOutcome{Next: Invalid}
+	case Valid:
+		switch ev {
+		case SnBusRead, SnReadData, SnBusInv:
+			return SnoopOutcome{Next: Valid}
+		case SnBusWrite:
+			return SnoopOutcome{Next: Invalid}
+		}
+	case Reserved:
+		switch ev {
+		case SnBusRead:
+			// Another cache fetches the line; memory is current, so no
+			// inhibit is needed, but exclusivity is lost.
+			return SnoopOutcome{Next: Valid}
+		case SnReadData, SnBusInv:
+			return SnoopOutcome{Next: Reserved}
+		case SnBusWrite:
+			return SnoopOutcome{Next: Invalid}
+		}
+	case DirtyState:
+		switch ev {
+		case SnBusRead:
+			// Memory is stale: interrupt the read, supply the value (the
+			// bus writes it through), and demote to Valid.
+			return SnoopOutcome{Next: Valid, Inhibit: true, Dirty: DirtyClear}
+		case SnReadData, SnBusInv:
+			return SnoopOutcome{Next: DirtyState}
+		case SnBusWrite:
+			return SnoopOutcome{Next: Invalid, Dirty: DirtyClear}
+		}
+	}
+	panic(fmt.Sprintf("goodman: OnSnoop from foreign state %v", s))
+}
+
+// RMWFlush implements Protocol: DirtyState is by definition dirty; flushing
+// for a locked read brings memory current, leaving the line effectively
+// Reserved (sole copy, memory current).
+func (Goodman) RMWFlush(s State, dirty bool) (bool, State, DirtyEffect) {
+	if s == DirtyState {
+		return true, Reserved, DirtyClear
+	}
+	return false, s, DirtyKeep
+}
+
+// RMWSuccess implements Protocol: the successful set is a write-through, so
+// the issuer holds a written-once line.
+func (Goodman) RMWSuccess(s State, aux uint8) (State, uint8, Action) {
+	return Reserved, 0, ActWrite
+}
+
+// Cachable implements Protocol: write-once is transparent.
+func (Goodman) Cachable(c Class, e ProcEvent) bool { return true }
+
+// WritebackOnEvict implements Protocol: only DirtyState lines have values
+// absent from memory.
+func (Goodman) WritebackOnEvict(s State, dirty bool) bool { return s == DirtyState }
+
+// LocalRMW implements Protocol: Reserved and Dirty lines are exclusive (no
+// other cache holds a copy), so a Test-and-Set completes in the cache.
+func (Goodman) LocalRMW(s State) bool { return s == Reserved || s == DirtyState }

@@ -1,0 +1,133 @@
+package coherence
+
+import "fmt"
+
+// Illinois implements the Illinois/MESI-style protocol of Papamarcos &
+// Patel, published at the same ISCA as this paper (1984) — the natural
+// contemporaneous comparison point. It refines Goodman's write-once with
+// a clean-exclusive state: a read miss installs Exclusive when the bus's
+// shared line is quiet (no other cache held a copy), so a subsequent write
+// needs no bus transaction at all.
+//
+// State mapping onto this package's State set: Invalid, Valid = Shared,
+// Reserved = Exclusive (clean), DirtyState = Modified.
+//
+// Like Goodman — and unlike the paper's schemes — it is event-broadcast
+// only: observed transactions never deliver usable data.
+type Illinois struct{}
+
+// Name implements Protocol.
+func (Illinois) Name() string { return "illinois" }
+
+// States implements Protocol.
+func (Illinois) States() []State { return []State{Invalid, Valid, Reserved, DirtyState} }
+
+// OnProc implements Protocol. The Invalid read miss defers its target
+// state to ReadMissTarget (the shared-line decision); OnProc reports the
+// conservative Shared target for callers without bus feedback (the model
+// checker explores both via ReadMissTarget).
+func (Illinois) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
+	switch s {
+	case Invalid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActRead, Dirty: DirtyClear}
+		}
+		// Write miss: fetch then write through once, claiming the line.
+		return ProcOutcome{Next: Reserved, Action: ActReadThenWrite, Dirty: DirtyClear}
+	case Valid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActNone}
+		}
+		// Shared write: invalidate the other copies via a write-through.
+		return ProcOutcome{Next: Reserved, Action: ActWrite, Dirty: DirtyClear}
+	case Reserved:
+		if e == EvRead {
+			return ProcOutcome{Next: Reserved, Action: ActNone}
+		}
+		// The Illinois payoff: writing a clean-exclusive line is free.
+		return ProcOutcome{Next: DirtyState, Action: ActNone, Dirty: DirtySet}
+	case DirtyState:
+		if e == EvRead {
+			return ProcOutcome{Next: DirtyState, Action: ActNone}
+		}
+		return ProcOutcome{Next: DirtyState, Action: ActNone, Dirty: DirtySet}
+	}
+	panic(fmt.Sprintf("illinois: OnProc from foreign state %v", s))
+}
+
+// ReadMissTarget implements SharedAware: a read miss installs Exclusive
+// when no other cache held a copy, Shared otherwise.
+func (Illinois) ReadMissTarget(sharedLine bool) State {
+	if sharedLine {
+		return Valid
+	}
+	return Reserved
+}
+
+// OnSnoop implements Protocol.
+func (Illinois) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcome {
+	switch s {
+	case Invalid:
+		return SnoopOutcome{Next: Invalid}
+	case Valid:
+		switch ev {
+		case SnBusRead, SnReadData, SnBusInv:
+			return SnoopOutcome{Next: Valid}
+		case SnBusWrite:
+			return SnoopOutcome{Next: Invalid}
+		}
+	case Reserved:
+		switch ev {
+		case SnBusRead:
+			// Exclusivity lost; memory is current, no flush needed.
+			return SnoopOutcome{Next: Valid}
+		case SnReadData, SnBusInv:
+			return SnoopOutcome{Next: Reserved}
+		case SnBusWrite:
+			return SnoopOutcome{Next: Invalid}
+		}
+	case DirtyState:
+		switch ev {
+		case SnBusRead:
+			// Supply the line (write it back in the read's slot), demote.
+			return SnoopOutcome{Next: Valid, Inhibit: true, Dirty: DirtyClear}
+		case SnReadData, SnBusInv:
+			return SnoopOutcome{Next: DirtyState}
+		case SnBusWrite:
+			return SnoopOutcome{Next: Invalid, Dirty: DirtyClear}
+		}
+	}
+	panic(fmt.Sprintf("illinois: OnSnoop from foreign state %v", s))
+}
+
+// RMWFlush implements Protocol: only Modified lines hold values memory
+// lacks; flushing leaves the line clean-exclusive.
+func (Illinois) RMWFlush(s State, dirty bool) (bool, State, DirtyEffect) {
+	if s == DirtyState {
+		return true, Reserved, DirtyClear
+	}
+	return false, s, DirtyKeep
+}
+
+// RMWSuccess implements Protocol.
+func (Illinois) RMWSuccess(s State, aux uint8) (State, uint8, Action) {
+	return Reserved, 0, ActWrite
+}
+
+// LocalRMW implements Protocol: Exclusive and Modified lines are the sole
+// copies, so Test-and-Set completes in the cache.
+func (Illinois) LocalRMW(s State) bool { return s == Reserved || s == DirtyState }
+
+// Cachable implements Protocol.
+func (Illinois) Cachable(c Class, e ProcEvent) bool { return true }
+
+// WritebackOnEvict implements Protocol.
+func (Illinois) WritebackOnEvict(s State, dirty bool) bool { return s == DirtyState }
+
+// SharedAware is the optional Protocol extension for schemes whose read
+// miss consults the bus's shared line (Illinois/MESI family). The cache
+// layer uses ReadMissTarget instead of OnProc's read-miss Next when the
+// protocol implements it.
+type SharedAware interface {
+	ReadMissTarget(sharedLine bool) State
+}

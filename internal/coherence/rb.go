@@ -1,0 +1,157 @@
+package coherence
+
+import "fmt"
+
+// RB is the paper's first scheme (Section 3, Figure 3-1): three states per
+// address line — Invalid, Readable, Local — with the data answering every
+// bus read broadcast to all caches.
+//
+// The configurations reachable for an address (the Section 4 lemma) are:
+//
+//   - shared: every cache containing the address is Readable, and memory is
+//     current;
+//   - local: exactly one cache is Local (holding the latest value) and all
+//     others containing the address are Invalid.
+//
+// A write moves the writer to Local (write-through plus invalidation of all
+// other copies); a read of a Local line by anyone else moves the address
+// back to the shared configuration via the interrupt-flush-retry sequence.
+type RB struct{}
+
+// Name implements Protocol.
+func (RB) Name() string { return "rb" }
+
+// States implements Protocol.
+func (RB) States() []State { return []State{Invalid, Readable, Local} }
+
+// OnProc implements Protocol. It is the processor-request half of
+// Figure 3-1.
+func (RB) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
+	switch s {
+	case Invalid:
+		if e == EvRead {
+			// "the cache generates a bus read and upon successful
+			// completion ... the cache state is changed to Read."
+			return ProcOutcome{Next: Readable, Action: ActRead, Dirty: DirtyClear}
+		}
+		// "a bus write is generated ..., the cache value is updated to
+		// this new value, and the cache state is set to Local." The line
+		// is clean: the write went through to memory.
+		return ProcOutcome{Next: Local, Action: ActWrite, Dirty: DirtyClear}
+	case Readable:
+		if e == EvRead {
+			// "the cached value is returned to the processor."
+			return ProcOutcome{Next: Readable, Action: ActNone}
+		}
+		// "a bus write is generated (this informs the other caches that
+		// the variable is now considered local), ... the cache is tagged
+		// as Local."
+		return ProcOutcome{Next: Local, Action: ActWrite, Dirty: DirtyClear}
+	case Local:
+		if e == EvRead {
+			return ProcOutcome{Next: Local, Action: ActNone}
+		}
+		// "the value in the cache is updated to this new value (no bus
+		// activity is generated)" — the only transition that makes a line
+		// dirty.
+		return ProcOutcome{Next: Local, Action: ActNone, Dirty: DirtySet}
+	}
+	panic(fmt.Sprintf("rb: OnProc from foreign state %v", s))
+}
+
+// OnSnoop implements Protocol. It is the bus-request half of Figure 3-1.
+func (RB) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcome {
+	switch s {
+	case Invalid:
+		switch ev {
+		case SnBusRead, SnBusWrite, SnBusInv:
+			// "In response to a bus write, a cache in the Invalid state
+			// will do nothing." RB caches do not read the data part of
+			// writes; BI never occurs in a pure RB machine.
+			return SnoopOutcome{Next: Invalid}
+		case SnReadData:
+			// "the value returned in response to the read is stored into
+			// the cache and the cache state is changed to Read. (Note that
+			// ... the value read will, in effect, be broadcast to all the
+			// processors for future use.)"
+			return SnoopOutcome{Next: Readable, TakeData: true, Dirty: DirtyClear}
+		}
+	case Readable:
+		switch ev {
+		case SnBusRead, SnBusInv:
+			// "A bus read ... has no effect on a cache in state R."
+			return SnoopOutcome{Next: Readable}
+		case SnBusWrite:
+			// "a bus write causes the cache to change its state to
+			// Invalid."
+			return SnoopOutcome{Next: Invalid}
+		case SnReadData:
+			// Already holds the (identical) value.
+			return SnoopOutcome{Next: Readable}
+		}
+	case Local:
+		switch ev {
+		case SnBusRead:
+			// "The bus read is interrupted and replaced by a bus write of
+			// the cached value. The cache state is changed to Read."
+			return SnoopOutcome{Next: Readable, Inhibit: true, Dirty: DirtyClear}
+		case SnBusWrite:
+			// "Bus writes cause a cache in the local state to change its
+			// state to Invalid."
+			return SnoopOutcome{Next: Invalid, Dirty: DirtyClear}
+		case SnBusInv:
+			return SnoopOutcome{Next: Invalid, Dirty: DirtyClear}
+		case SnReadData:
+			return SnoopOutcome{Next: Local}
+		}
+	}
+	panic(fmt.Sprintf("rb: OnSnoop from foreign state %v", s))
+}
+
+// RMWFlush implements Protocol: a locked read is non-cachable, so only a
+// dirty Local owner (whose value memory does not have) must flush; it keeps
+// its Local state, exactly as the spinning rows of Figure 6-1 keep P2 in L.
+func (RB) RMWFlush(s State, dirty bool) (bool, State, DirtyEffect) {
+	if s == Local && dirty {
+		return true, Local, DirtyClear
+	}
+	return false, s, DirtyKeep
+}
+
+// RMWSuccess implements Protocol: a successful Test-and-Set is a write, so
+// the issuer becomes Local and the write part is an ordinary bus write that
+// invalidates every other copy (Figure 6-1: "P2 Locks S" yields I L I).
+func (RB) RMWSuccess(s State, aux uint8) (State, uint8, Action) {
+	return Local, 0, ActWrite
+}
+
+// Cachable implements Protocol: the RB scheme is transparent; every class
+// of data is dynamically classified and cached.
+func (RB) Cachable(c Class, e ProcEvent) bool { return true }
+
+// WritebackOnEvict implements Protocol: "Only those overwritten items that
+// are tagged local need to be written back to the memory." The paper has
+// no dirty tag, so even a clean Local line (whose write-through already
+// updated memory) is written back — the cost the RWB scheme's F state
+// avoids (Section 5) and the RBDirtyEvict variant removes.
+func (RB) WritebackOnEvict(s State, dirty bool) bool { return s == Local }
+
+// RBDirtyEvict is the RB scheme plus one dirty bit per line, used only at
+// eviction: a clean Local line (its value reached memory on the
+// write-through that claimed it) is dropped silently. This is the obvious
+// 1984-hardware-feasible fix for RB's double-write on array
+// initialization, quantified by the ablation-arrayinit experiment.
+type RBDirtyEvict struct{ RB }
+
+// Name implements Protocol.
+func (RBDirtyEvict) Name() string { return "rb-dirty" }
+
+// WritebackOnEvict implements Protocol: only genuinely dirty Local lines
+// are written back.
+func (RBDirtyEvict) WritebackOnEvict(s State, dirty bool) bool {
+	return s == Local && dirty
+}
+
+// LocalRMW implements Protocol: a Local line is the sole copy and holds the
+// latest value, so a Test-and-Set against it is atomic without the bus.
+func (RB) LocalRMW(s State) bool { return s == Local }

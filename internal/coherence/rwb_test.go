@@ -1,0 +1,196 @@
+package coherence
+
+import "testing"
+
+// TestRWBTransitionDiagram encodes Figure 5-1: RB's diagram plus the
+// FirstWrite state, the BI signal (modifier 4), and data-taking on bus
+// writes.
+func TestRWBTransitionDiagram(t *testing.T) {
+	p := NewRWB(2)
+
+	procCases := []struct {
+		s       State
+		aux     uint8
+		e       ProcEvent
+		next    State
+		nextAux uint8
+		action  Action
+	}{
+		{Invalid, 0, EvRead, Readable, 0, ActRead},
+		{Invalid, 0, EvWrite, FirstWrite, 1, ActWrite},
+		{Readable, 0, EvRead, Readable, 0, ActNone},
+		// First write in shared configuration: BW, enter F.
+		{Readable, 0, EvWrite, FirstWrite, 1, ActWrite},
+		// Own reads do not break the streak.
+		{FirstWrite, 1, EvRead, FirstWrite, 1, ActNone},
+		// Second uninterrupted write: BI, enter L.
+		{FirstWrite, 1, EvWrite, Local, 0, ActInv},
+		// After an interruption the streak restarts: the next write is a
+		// BW again, staying in F.
+		{FirstWrite, 0, EvWrite, FirstWrite, 1, ActWrite},
+		{Local, 0, EvRead, Local, 0, ActNone},
+		{Local, 0, EvWrite, Local, 0, ActNone},
+	}
+	for _, c := range procCases {
+		got := p.OnProc(c.s, c.aux, c.e)
+		if got.Next != c.next || got.NextAux != c.nextAux || got.Action != c.action {
+			t.Errorf("OnProc(%v, aux=%d, %v) = (%v, aux=%d, %v), want (%v, %d, %v)",
+				c.s, c.aux, c.e, got.Next, got.NextAux, got.Action, c.next, c.nextAux, c.action)
+		}
+	}
+
+	snoopCases := []struct {
+		s       State
+		ev      SnoopEvent
+		next    State
+		inhibit bool
+		take    bool
+	}{
+		// Invalid caches snarf both broadcast read data and write data.
+		{Invalid, SnBusRead, Invalid, false, false},
+		{Invalid, SnBusWrite, Readable, false, true},
+		{Invalid, SnBusInv, Invalid, false, false},
+		{Invalid, SnReadData, Readable, false, true},
+		// Readable caches update in place on writes and die on BI.
+		{Readable, SnBusRead, Readable, false, false},
+		{Readable, SnBusWrite, Readable, false, true},
+		{Readable, SnBusInv, Invalid, false, false},
+		{Readable, SnReadData, Readable, false, false},
+		// FirstWrite: reads have no configuration effect; a write by
+		// another PE demotes to Readable with the new value.
+		{FirstWrite, SnBusRead, FirstWrite, false, false},
+		{FirstWrite, SnBusWrite, Readable, false, true},
+		{FirstWrite, SnBusInv, Invalid, false, false},
+		{FirstWrite, SnReadData, FirstWrite, false, false},
+		// Local: interrupt reads like RB; adopt (not just observe) writes.
+		{Local, SnBusRead, Readable, true, false},
+		{Local, SnBusWrite, Readable, false, true},
+		{Local, SnBusInv, Invalid, false, false},
+		{Local, SnReadData, Local, false, false},
+	}
+	for _, c := range snoopCases {
+		got := p.OnSnoop(c.s, 1, true, c.ev)
+		if got.Next != c.next || got.Inhibit != c.inhibit || got.TakeData != c.take {
+			t.Errorf("OnSnoop(%v, %v) = (%v, inhibit=%v, take=%v), want (%v, %v, %v)",
+				c.s, c.ev, got.Next, got.Inhibit, got.TakeData, c.next, c.inhibit, c.take)
+		}
+	}
+}
+
+// TestRWBSnoopReadResetsStreak: a bus read by another PE is an intervening
+// reference, so the F-state write streak restarts.
+func TestRWBSnoopReadResetsStreak(t *testing.T) {
+	p := NewRWB(3)
+	out := p.OnSnoop(FirstWrite, 2, false, SnBusRead)
+	if out.Next != FirstWrite || out.NextAux != 0 {
+		t.Fatalf("F+BR snoop = (%v, aux=%d), want (FirstWrite, 0)", out.Next, out.NextAux)
+	}
+}
+
+// TestRWBThresholdK verifies the footnote-6 generalization: with k
+// uninterrupted writes required, the first k-1 writes are write-throughs in
+// F and only the k'th issues BI and claims Local.
+func TestRWBThresholdK(t *testing.T) {
+	for _, k := range []uint8{2, 3, 4, 5} {
+		p := NewRWB(k)
+		s, aux := Invalid, uint8(0)
+		writes := 0
+		for {
+			out := p.OnProc(s, aux, EvWrite)
+			writes++
+			s, aux = out.Next, out.NextAux
+			if s == Local {
+				break
+			}
+			if out.Action != ActWrite {
+				t.Fatalf("k=%d: write %d action = %v, want BW", k, writes, out.Action)
+			}
+			if writes > int(k)+1 {
+				t.Fatalf("k=%d: no Local after %d writes", k, writes)
+			}
+		}
+		if writes != int(k) {
+			t.Errorf("k=%d: reached Local after %d writes, want %d", k, writes, k)
+		}
+	}
+}
+
+func TestNewRWBRejectsSmallThreshold(t *testing.T) {
+	for _, k := range []uint8{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRWB(%d) did not panic", k)
+				}
+			}()
+			NewRWB(k)
+		}()
+	}
+}
+
+// TestRWBRMWSuccessFollowsWriteStreak: TS from shared configuration enters
+// F with a broadcast write (Figure 6-3 "P2 Locks S" -> R F R); TS from a
+// full F streak enters L with BI.
+func TestRWBRMWSuccessFollowsWriteStreak(t *testing.T) {
+	p := NewRWB(2)
+	if next, aux, bc := p.RMWSuccess(Readable, 0); next != FirstWrite || aux != 1 || bc != ActWrite {
+		t.Errorf("RMW success from R = (%v, %d, %v), want (F, 1, BW)", next, aux, bc)
+	}
+	if next, _, bc := p.RMWSuccess(FirstWrite, 1); next != Local || bc != ActInv {
+		t.Errorf("RMW success from F = (%v, %v), want (L, BI)", next, bc)
+	}
+	if next, _, bc := p.RMWSuccess(Local, 0); next != Local || bc != ActWrite {
+		t.Errorf("RMW success from L = (%v, %v), want (L, BW)", next, bc)
+	}
+}
+
+func TestRWBFIsAlwaysClean(t *testing.T) {
+	p := NewRWB(2)
+	// Entering F always writes through.
+	for _, s := range []State{Invalid, Readable} {
+		if out := p.OnProc(s, 0, EvWrite); out.Dirty != DirtyClear {
+			t.Errorf("entering F from %v left dirty=%v", s, out.Dirty)
+		}
+	}
+	// And F never flushes for a locked read.
+	if flush, _, _ := p.RMWFlush(FirstWrite, false); flush {
+		t.Error("F flushed for a locked read")
+	}
+	// Entering L via BI does not write through, so L starts dirty.
+	if out := p.OnProc(FirstWrite, 1, EvWrite); out.Dirty != DirtySet {
+		t.Errorf("entering L via BI left dirty=%v, want set", out.Dirty)
+	}
+}
+
+func TestRWBEvictionPolicy(t *testing.T) {
+	p := NewRWB(2)
+	if !p.WritebackOnEvict(Local, true) {
+		t.Error("Local must be written back")
+	}
+	// The Section 5 claim: an initialized-once line (F) evicts silently,
+	// halving the array-initialization bus writes relative to RB.
+	for _, s := range []State{Invalid, Readable, FirstWrite} {
+		if p.WritebackOnEvict(s, true) {
+			t.Errorf("state %v must evict silently", s)
+		}
+	}
+}
+
+func TestRWBStatesAndName(t *testing.T) {
+	p := NewRWB(2)
+	if p.Name() != "rwb" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	if n := len(p.States()); n != 4 {
+		t.Errorf("len(States()) = %d, want 4", n)
+	}
+}
+
+func TestRWBForeignStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnSnoop from a Goodman state did not panic")
+		}
+	}()
+	NewRWB(2).OnSnoop(DirtyState, 0, false, SnBusRead)
+}

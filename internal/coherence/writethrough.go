@@ -1,0 +1,81 @@
+package coherence
+
+import "fmt"
+
+// WriteThrough is the classic write-through-with-invalidate baseline: every
+// write goes to the bus and memory, every other copy is invalidated, and a
+// cache never gains information from transactions it merely observes
+// (beyond the invalidation itself). It bounds the paper's schemes from
+// below: correct, simple, and maximally bus-hungry for write-heavy and
+// lock-heavy workloads.
+//
+// States: Invalid and Valid. Writes do not allocate (a write miss updates
+// memory without installing the line), the common choice for write-through
+// caches of the period.
+type WriteThrough struct{}
+
+// Name implements Protocol.
+func (WriteThrough) Name() string { return "writethrough" }
+
+// States implements Protocol.
+func (WriteThrough) States() []State { return []State{Invalid, Valid} }
+
+// OnProc implements Protocol.
+func (WriteThrough) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
+	switch s {
+	case Invalid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActRead, Dirty: DirtyClear}
+		}
+		// Write miss: write through without allocating.
+		return ProcOutcome{Next: Invalid, Action: ActWrite, NoAllocate: true}
+	case Valid:
+		if e == EvRead {
+			return ProcOutcome{Next: Valid, Action: ActNone}
+		}
+		// Write hit: update the copy and write through.
+		return ProcOutcome{Next: Valid, Action: ActWrite, Dirty: DirtyClear}
+	}
+	panic(fmt.Sprintf("writethrough: OnProc from foreign state %v", s))
+}
+
+// OnSnoop implements Protocol.
+func (WriteThrough) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcome {
+	switch s {
+	case Invalid:
+		return SnoopOutcome{Next: Invalid}
+	case Valid:
+		switch ev {
+		case SnBusRead, SnReadData, SnBusInv:
+			return SnoopOutcome{Next: Valid}
+		case SnBusWrite:
+			return SnoopOutcome{Next: Invalid}
+		}
+	}
+	panic(fmt.Sprintf("writethrough: OnSnoop from foreign state %v", s))
+}
+
+// RMWFlush implements Protocol: memory is always current under pure
+// write-through, so nothing ever flushes.
+func (WriteThrough) RMWFlush(s State, dirty bool) (bool, State, DirtyEffect) {
+	return false, s, DirtyKeep
+}
+
+// RMWSuccess implements Protocol: the set is an ordinary write-through; a
+// Valid issuer keeps its (updated) copy, an Invalid issuer stays Invalid.
+func (WriteThrough) RMWSuccess(s State, aux uint8) (State, uint8, Action) {
+	if s == Valid {
+		return Valid, 0, ActWrite
+	}
+	return Invalid, 0, ActWrite
+}
+
+// Cachable implements Protocol.
+func (WriteThrough) Cachable(c Class, e ProcEvent) bool { return true }
+
+// WritebackOnEvict implements Protocol: memory is always current.
+func (WriteThrough) WritebackOnEvict(s State, dirty bool) bool { return false }
+
+// LocalRMW implements Protocol: Valid lines may be shared, so Test-and-Set
+// always takes the bus.
+func (WriteThrough) LocalRMW(s State) bool { return false }

@@ -1,0 +1,198 @@
+// Package event provides a small deterministic discrete-event simulation
+// kernel: a virtual clock, a priority queue of scheduled callbacks, and a
+// run loop.
+//
+// The machine simulator (internal/machine) is fundamentally cycle-stepped —
+// the shared bus serializes everything at bus-cycle granularity — but a
+// number of mechanisms are most naturally expressed as scheduled events:
+// retried bus reads after an interrupt, memory transactions that hold the
+// bus for several cycles, processors resuming after a modeled compute
+// delay, and periodic statistics sampling. The kernel is also used on its
+// own by the trace replay tooling.
+//
+// Determinism: events scheduled for the same time fire in the order they
+// were scheduled (FIFO among equal timestamps). This is essential for
+// reproducible simulations and for the consistency oracle, which depends on
+// a stable serialization of same-cycle actions.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the virtual simulation time, measured in bus cycles.
+type Time uint64
+
+// Func is a callback invoked when its event fires. The loop passes the
+// current virtual time.
+type Func func(now Time)
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle uint64
+
+// item is a scheduled event in the queue.
+type item struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among equal timestamps
+	handle Handle
+	fn     Func
+	index  int // heap index; -1 when removed
+}
+
+// queue implements heap.Interface ordered by (at, seq).
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q queue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *queue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Loop is a discrete-event simulation loop. The zero value is ready to use.
+// Loop is not safe for concurrent use; the simulator is single-goroutine by
+// design (determinism over parallelism).
+type Loop struct {
+	now     Time
+	q       queue
+	seq     uint64
+	nextID  Handle
+	pending map[Handle]*item
+	fired   uint64
+}
+
+// New returns an empty loop at time zero.
+func New() *Loop {
+	return &Loop{pending: make(map[Handle]*item)}
+}
+
+func (l *Loop) init() {
+	if l.pending == nil {
+		l.pending = make(map[Handle]*item)
+	}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Len returns the number of pending events.
+func (l *Loop) Len() int { return len(l.q) }
+
+// Fired returns the total number of events that have fired.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) is an error expressed by panic, since it indicates a simulator
+// bug rather than a recoverable condition.
+func (l *Loop) At(t Time, fn Func) Handle {
+	if fn == nil {
+		panic("event: nil callback")
+	}
+	if t < l.now {
+		panic(fmt.Sprintf("event: scheduling at %d, before now %d", t, l.now))
+	}
+	l.init()
+	l.nextID++
+	l.seq++
+	it := &item{at: t, seq: l.seq, handle: l.nextID, fn: fn}
+	heap.Push(&l.q, it)
+	l.pending[it.handle] = it
+	return it.handle
+}
+
+// After schedules fn to run d cycles from now.
+func (l *Loop) After(d Time, fn Func) Handle { return l.At(l.now+d, fn) }
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already fired, was cancelled, or the handle is
+// invalid).
+func (l *Loop) Cancel(h Handle) bool {
+	it, ok := l.pending[h]
+	if !ok {
+		return false
+	}
+	delete(l.pending, h)
+	heap.Remove(&l.q, it.index)
+	return true
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event fired (false if the queue was
+// empty).
+func (l *Loop) Step() bool {
+	if len(l.q) == 0 {
+		return false
+	}
+	it := heap.Pop(&l.q).(*item)
+	delete(l.pending, it.handle)
+	l.now = it.at
+	l.fired++
+	it.fn(l.now)
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final time.
+func (l *Loop) Run() Time {
+	for l.Step() {
+	}
+	return l.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the
+// clock to deadline (if it is beyond the last fired event). Events
+// scheduled during the run are honored if they fall within the deadline.
+func (l *Loop) RunUntil(deadline Time) Time {
+	for len(l.q) > 0 && l.q[0].at <= deadline {
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+	return l.now
+}
+
+// Advance moves the clock forward by d without firing events. It panics if
+// any pending event would be skipped, since silently skipping events is
+// always a simulator bug.
+func (l *Loop) Advance(d Time) {
+	target := l.now + d
+	if len(l.q) > 0 && l.q[0].at < target {
+		panic(fmt.Sprintf("event: Advance(%d) would skip event at %d", d, l.q[0].at))
+	}
+	l.now = target
+}
+
+// NextAt returns the timestamp of the earliest pending event. The second
+// result is false when the queue is empty.
+func (l *Loop) NextAt() (Time, bool) {
+	if len(l.q) == 0 {
+		return 0, false
+	}
+	return l.q[0].at, true
+}

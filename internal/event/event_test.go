@@ -1,0 +1,262 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyLoop(t *testing.T) {
+	l := New()
+	if l.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", l.Now())
+	}
+	if l.Step() {
+		t.Fatal("Step() on empty loop reported an event")
+	}
+	if got := l.Run(); got != 0 {
+		t.Fatalf("Run() = %d, want 0", got)
+	}
+	if _, ok := l.NextAt(); ok {
+		t.Fatal("NextAt() on empty loop reported an event")
+	}
+}
+
+func TestOrderingByTime(t *testing.T) {
+	l := New()
+	var got []int
+	l.At(30, func(Time) { got = append(got, 3) })
+	l.At(10, func(Time) { got = append(got, 1) })
+	l.At(20, func(Time) { got = append(got, 2) })
+	end := l.Run()
+	if end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	l := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		l.At(7, func(Time) { got = append(got, i) })
+	}
+	l.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-timestamp events out of FIFO order at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	l := New()
+	var at Time
+	l.At(5, func(now Time) {
+		l.After(10, func(now Time) { at = now })
+	})
+	l.Run()
+	if at != 15 {
+		t.Fatalf("After(10) from t=5 fired at %d, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	l := New()
+	fired := false
+	h := l.At(10, func(Time) { fired = true })
+	if !l.Cancel(h) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if l.Cancel(h) {
+		t.Fatal("second Cancel returned true")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleKeepsHeapValid(t *testing.T) {
+	l := New()
+	var got []Time
+	handles := make([]Handle, 0, 10)
+	for i := 1; i <= 10; i++ {
+		tm := Time(i)
+		handles = append(handles, l.At(tm, func(now Time) { got = append(got, now) }))
+	}
+	l.Cancel(handles[4]) // t=5
+	l.Cancel(handles[7]) // t=8
+	l.Run()
+	want := []Time{1, 2, 3, 4, 6, 7, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancelAlreadyFired(t *testing.T) {
+	l := New()
+	var h Handle
+	h = l.At(1, func(Time) {})
+	l.Run()
+	if l.Cancel(h) {
+		t.Fatal("Cancel of fired event returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	l := New()
+	var got []Time
+	for _, tm := range []Time{5, 10, 15, 20} {
+		l.At(tm, func(now Time) { got = append(got, now) })
+	}
+	if end := l.RunUntil(12); end != 12 {
+		t.Fatalf("RunUntil(12) = %d, want 12", end)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Fatalf("events fired by t=12: %v, want [5 10]", got)
+	}
+	l.RunUntil(100)
+	if len(got) != 4 {
+		t.Fatalf("events fired by t=100: %v, want all 4", got)
+	}
+}
+
+func TestRunUntilHonorsNewlyScheduled(t *testing.T) {
+	l := New()
+	var got []Time
+	l.At(1, func(now Time) {
+		l.After(1, func(now Time) { got = append(got, now) })
+	})
+	l.RunUntil(5)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("chained event: got %v, want [2]", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	l := New()
+	l.Advance(42)
+	if l.Now() != 42 {
+		t.Fatalf("Now() = %d after Advance(42)", l.Now())
+	}
+	l.At(50, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance past a pending event did not panic")
+		}
+	}()
+	l.Advance(20) // would move to 62, past the event at 50
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	l := New()
+	l.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At() in the past did not panic")
+		}
+	}()
+	l.At(5, func(Time) {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	l := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At() with nil callback did not panic")
+		}
+	}()
+	l.At(1, nil)
+}
+
+func TestFiredCounter(t *testing.T) {
+	l := New()
+	for i := 0; i < 7; i++ {
+		l.At(Time(i), func(Time) {})
+	}
+	l.Run()
+	if l.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", l.Fired())
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	l := New()
+	l.At(9, func(Time) {})
+	l.At(3, func(Time) {})
+	if at, ok := l.NextAt(); !ok || at != 3 {
+		t.Fatalf("NextAt() = %d,%v want 3,true", at, ok)
+	}
+}
+
+// Property: for any set of timestamps, events fire in nondecreasing time
+// order and exactly once each.
+func TestQuickFiringOrder(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		l := New()
+		var fired []Time
+		for _, s := range stamps {
+			l.At(Time(s), func(now Time) { fired = append(fired, now) })
+		}
+		l.Run()
+		if len(fired) != len(stamps) {
+			return false
+		}
+		sorted := make([]Time, len(stamps))
+		for i, s := range stamps {
+			sorted[i] = Time(s)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestQuickCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		l := New()
+		n := rng.Intn(50)
+		firedCount := 0
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			handles[i] = l.At(Time(rng.Intn(20)), func(Time) { firedCount++ })
+		}
+		cancelled := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				if l.Cancel(handles[i]) {
+					cancelled++
+				}
+			}
+		}
+		l.Run()
+		if firedCount != n-cancelled {
+			t.Fatalf("iter %d: fired %d, want %d", iter, firedCount, n-cancelled)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/coherence"
+)
+
+// TransitionDOT renders a protocol's state diagram in Graphviz DOT format
+// — the closest faithful reconstruction of Figures 3-1 and 5-1 themselves
+// (feed it to `dot -Tsvg` to get the picture). Processor-request arcs are
+// solid, bus-request arcs dashed, matching the figures' visual language;
+// arc labels carry the request and the modifier.
+func TransitionDOT(p coherence.Protocol) string {
+	type arc struct {
+		from, to, label string
+		bus             bool
+	}
+	var arcs []arc
+	for _, s := range p.States() {
+		for _, e := range []coherence.ProcEvent{coherence.EvRead, coherence.EvWrite} {
+			out := p.OnProc(s, 1, e)
+			label := e.String()
+			if m := modifier(out.Action, false); m != "-" {
+				label += " / " + strings.SplitN(m, " ", 2)[0]
+			}
+			arcs = append(arcs, arc{from: s.Letter(), to: out.Next.Letter(), label: label})
+		}
+		for _, ev := range []coherence.SnoopEvent{coherence.SnBusRead, coherence.SnBusWrite, coherence.SnBusInv} {
+			if ev == coherence.SnBusInv && !usesInvalidate(p) {
+				continue
+			}
+			out := p.OnSnoop(s, 1, true, ev)
+			label := ev.String()
+			if out.Inhibit {
+				label += " / 2"
+			}
+			if out.TakeData {
+				label += " / take"
+			}
+			// Self-loops with no effect clutter the diagram; the figures
+			// omit them too.
+			if out.Next == s && !out.Inhibit && !out.TakeData {
+				continue
+			}
+			arcs = append(arcs, arc{from: s.Letter(), to: out.Next.Letter(), label: label, bus: true})
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", strings.ToUpper(p.Name()))
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	names := make([]string, 0, len(p.States()))
+	for _, s := range p.States() {
+		names = append(names, s.Letter())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, a := range arcs {
+		style := ""
+		if a.bus {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", a.from, a.to, a.label, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,85 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment is a
+// named constructor returning a report.Table whose rows mirror the paper's
+// artifact; cmd/paperrepro prints them all, the test suite asserts their
+// paper-shape properties, and bench_test.go wraps each in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	// Seed drives every deterministic generator (default 1).
+	Seed uint64
+	// Scale multiplies workload sizes; 1 is the quick configuration used
+	// by the tests, 10 the publication-quality one used by cmd/paperrepro
+	// -full.
+	Scale int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Scale == 0 {
+		p.Scale = 1
+	}
+	return p
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	// ID matches the DESIGN.md experiment index ("table1-1", "fig6-2",
+	// "ablation-arrayinit", ...).
+	ID string
+	// Title is the human caption.
+	Title string
+	// Run executes the experiment.
+	Run func(Params) (*Table, error)
+}
+
+// Table re-exports report.Table so experiment callers need one import.
+type Table = tableAlias
+
+// registry is populated by the per-experiment files' init functions in
+// declaration order.
+var registry []Experiment
+
+func register(e Experiment) {
+	for _, existing := range registry {
+		if existing.ID == e.ID {
+			panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+		}
+	}
+	registry = append(registry, e)
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (valid: %v)", id, IDs())
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1-1", "fig3-1", "fig5-1", "fig6-1", "fig6-2", "fig6-3",
+		"section7-sbb", "fig7-1", "section7-saturation",
+		"ablation-arrayinit", "ablation-lock", "ablation-mix",
+		"ablation-threshold", "ablation-fault", "ablation-barrier",
+		"extension-hier", "ablation-private", "ablation-assoc", "ablation-rmwstyle",
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if _, err := ByID("table1-1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id resolved")
+	}
+	if len(IDs()) != len(All()) {
+		t.Error("IDs/All length mismatch")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment at scale 1
+// and sanity-checks the output tables.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tb, err := e.Run(Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tb.ID, e.ID)
+			}
+			if len(tb.Rows) == 0 || len(tb.Columns) == 0 {
+				t.Fatal("empty table")
+			}
+			if out := tb.Plain(); !strings.Contains(out, tb.Columns[0]) {
+				t.Error("plain rendering broken")
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/report"
+)
+
+// Figures 3-1 and 5-1 are state transition diagrams. A diagram is a
+// relation, so the faithful textual reproduction is the full transition
+// table: every (state, request) pair with its successor state and the
+// modifier action the figure annotates on the arc (1 = generate BW,
+// 2 = interrupt BR and supply the data, 3 = generate BR, 4 = generate BI).
+
+func init() {
+	register(Experiment{
+		ID:    "fig3-1",
+		Title: "State Transition Diagram for each Cache Entry for the RB Scheme",
+		Run: func(Params) (*Table, error) {
+			return TransitionTable(coherence.RB{}, "fig3-1",
+				"State Transition Diagram for each Cache Entry for the RB Scheme"), nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig5-1",
+		Title: "State Transition Diagram for each Cache Entry for the RWB Scheme",
+		Run: func(Params) (*Table, error) {
+			return TransitionTable(coherence.NewRWB(2), "fig5-1",
+				"State Transition Diagram for each Cache Entry for the RWB Scheme"), nil
+		},
+	})
+}
+
+// modifier maps a transition to the figure's arc annotation.
+func modifier(action coherence.Action, inhibit bool) string {
+	switch {
+	case inhibit:
+		return "2 (interrupt BR, supply data)"
+	case action == coherence.ActWrite:
+		return "1 (generate BW)"
+	case action == coherence.ActRead:
+		return "3 (generate BR)"
+	case action == coherence.ActInv:
+		return "4 (generate BI)"
+	case action == coherence.ActReadThenWrite:
+		return "3+1 (generate BR then BW)"
+	}
+	return "-"
+}
+
+// TransitionTable renders a protocol's complete transition relation.
+func TransitionTable(p coherence.Protocol, id, title string) *report.Table {
+	t := &report.Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"State", "Request", "Next State", "Modifier"},
+		Note:    "CW/CR: CPU write/read request; BW/BR/BI: bus write/read/invalidate request (the figures' legend)",
+	}
+	for _, s := range p.States() {
+		for _, e := range []coherence.ProcEvent{coherence.EvRead, coherence.EvWrite} {
+			out := p.OnProc(s, 1, e)
+			t.AddRow(s.Letter(), e.String(), out.Next.Letter(), modifier(out.Action, false))
+		}
+		for _, ev := range []coherence.SnoopEvent{coherence.SnBusRead, coherence.SnBusWrite, coherence.SnBusInv} {
+			if ev == coherence.SnBusInv && !usesInvalidate(p) {
+				continue
+			}
+			out := p.OnSnoop(s, 1, true, ev)
+			mod := modifier(coherence.ActNone, out.Inhibit)
+			if out.TakeData {
+				if mod == "-" {
+					mod = "take broadcast data"
+				} else {
+					mod += ", take broadcast data"
+				}
+			}
+			t.AddRow(s.Letter(), ev.String(), out.Next.Letter(), mod)
+		}
+	}
+	return t
+}
+
+// usesInvalidate reports whether any processor transition of p emits BI.
+func usesInvalidate(p coherence.Protocol) bool {
+	for _, s := range p.States() {
+		for _, e := range []coherence.ProcEvent{coherence.EvRead, coherence.EvWrite} {
+			for aux := uint8(0); aux < 4; aux++ {
+				if p.OnProc(s, aux, e).Action == coherence.ActInv {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CountTransitions returns (states, arcs) for a protocol — the figures'
+// size, used by documentation and sanity tests.
+func CountTransitions(p coherence.Protocol) (states, arcs int) {
+	t := TransitionTable(p, "tmp", "tmp")
+	set := map[string]bool{}
+	for _, row := range t.Rows {
+		set[row[0]] = true
+	}
+	return len(set), len(t.Rows)
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell extracts (PE column) of a row by observation label.
+func findRow(t *testing.T, tb *Table, observation string) []string {
+	t.Helper()
+	for _, row := range tb.Rows {
+		if strings.Contains(row[len(row)-1], observation) {
+			return row
+		}
+	}
+	t.Fatalf("no row with observation %q in %s", observation, tb.ID)
+	return nil
+}
+
+func busTxnsOf(t *testing.T, row []string) int {
+	t.Helper()
+	n, err := strconv.Atoi(row[len(row)-2])
+	if err != nil {
+		t.Fatalf("bad bus txn cell %q", row[len(row)-2])
+	}
+	return n
+}
+
+// TestFigure61MatchesPaper asserts the state matrix of Figure 6-1.
+func TestFigure61MatchesPaper(t *testing.T) {
+	tb := figure61()
+
+	r := findRow(t, tb, "Initial State")
+	if r[0] != "R(0)" || r[1] != "R(0)" || r[2] != "R(0)" || r[3] != "0" {
+		t.Fatalf("initial row = %v", r)
+	}
+
+	r = findRow(t, tb, "P2 Locks S")
+	if r[0] != "I(-)" || r[1] != "L(1)" || r[2] != "I(-)" || r[3] != "1" {
+		t.Fatalf("lock row = %v, want I(-) L(1) I(-) 1", r)
+	}
+
+	// Spinning with TS generates bus traffic and changes nothing.
+	r = findRow(t, tb, "Others try to get S (Bus Traffic)")
+	if r[0] != "I(-)" || r[1] != "L(1)" || r[2] != "I(-)" {
+		t.Fatalf("spin row = %v", r)
+	}
+	if busTxnsOf(t, r) == 0 {
+		t.Fatal("TS spinning generated no bus traffic")
+	}
+
+	// Release is local: L(0) with the others Invalid.
+	r = findRow(t, tb, "P2 releases S")
+	if r[0] != "I(-)" || r[1] != "L(0)" || r[2] != "I(-)" {
+		t.Fatalf("release row = %v", r)
+	}
+
+	r = findRow(t, tb, "P1 get the S")
+	if r[0] != "L(1)" || r[1] != "I(-)" || r[2] != "I(-)" || r[3] != "1" {
+		t.Fatalf("reacquire row = %v, want L(1) I(-) I(-) 1", r)
+	}
+}
+
+// TestFigure62MatchesPaper asserts the state matrix of Figure 6-2 —
+// including the zero-bus-traffic spinning row, the paper's headline.
+func TestFigure62MatchesPaper(t *testing.T) {
+	tb := figure62()
+
+	r := findRow(t, tb, "Initial State")
+	if r[0] != "R(0)" || r[1] != "R(0)" || r[2] != "R(0)" {
+		t.Fatalf("initial row = %v", r)
+	}
+
+	r = findRow(t, tb, "P2 locks S")
+	if r[0] != "I(-)" || r[1] != "L(1)" || r[2] != "I(-)" || r[3] != "1" {
+		t.Fatalf("lock row = %v", r)
+	}
+
+	// After the first (fetching) test, everyone holds R(1).
+	r = findRow(t, tb, "Others test S")
+	if r[0] != "R(1)" || r[1] != "R(1)" || r[2] != "R(1)" {
+		t.Fatalf("fetch row = %v, want all R(1)", r)
+	}
+
+	// The spinning row is the claim: No Bus Traffic.
+	r = findRow(t, tb, "No Bus Traffic")
+	if r[0] != "R(1)" || r[1] != "R(1)" || r[2] != "R(1)" {
+		t.Fatalf("spin row = %v", r)
+	}
+	if got := busTxnsOf(t, r); got != 0 {
+		t.Fatalf("TTS spinning generated %d bus transactions, want 0", got)
+	}
+
+	r = findRow(t, tb, "P2 releases S")
+	if r[0] != "I(-)" || r[1] != "L(0)" || r[2] != "I(-)" || r[3] != "0" {
+		t.Fatalf("release row = %v, want I(-) L(0) I(-) 0", r)
+	}
+
+	r = findRow(t, tb, "A Bus Read to S")
+	if r[0] != "R(0)" || r[1] != "R(0)" || r[2] != "R(0)" || r[3] != "0" {
+		t.Fatalf("bus-read row = %v, want all R(0)", r)
+	}
+
+	r = findRow(t, tb, "P1 get the S")
+	if r[0] != "L(1)" || r[1] != "I(-)" || r[2] != "I(-)" || r[3] != "1" {
+		t.Fatalf("reacquire row = %v", r)
+	}
+
+	r = findRow(t, tb, "Others try to get S")
+	if r[0] != "R(1)" || r[1] != "R(1)" || r[2] != "R(1)" {
+		t.Fatalf("final row = %v, want all R(1)", r)
+	}
+}
+
+// TestFigure63MatchesPaper asserts the state matrix of Figure 6-3: the RWB
+// acquisition leaves the F/R intermediate configuration.
+func TestFigure63MatchesPaper(t *testing.T) {
+	tb := figure63()
+
+	r := findRow(t, tb, "Initial State")
+	if r[0] != "R(0)" || r[1] != "R(0)" || r[2] != "R(0)" {
+		t.Fatalf("initial row = %v", r)
+	}
+
+	r = findRow(t, tb, "P2 locks S")
+	if r[0] != "R(1)" || r[1] != "F(1)" || r[2] != "R(1)" || r[3] != "1" {
+		t.Fatalf("lock row = %v, want R(1) F(1) R(1) 1", r)
+	}
+
+	// No invalidation happened, so the spinners read their caches at once.
+	r = findRow(t, tb, "No Bus Traffic")
+	if got := busTxnsOf(t, r); got != 0 {
+		t.Fatalf("TTS spinning generated %d bus transactions, want 0", got)
+	}
+	if r[0] != "R(1)" || r[2] != "R(1)" {
+		t.Fatalf("spin row = %v", r)
+	}
+
+	r = findRow(t, tb, "P2 releases S")
+	if r[0] != "I(-)" || r[1] != "L(0)" || r[2] != "I(-)" {
+		t.Fatalf("release row = %v, want I(-) L(0) I(-)", r)
+	}
+
+	r = findRow(t, tb, "A Bus Read to S")
+	if r[0] != "R(0)" || r[1] != "R(0)" || r[2] != "R(0)" || r[3] != "0" {
+		t.Fatalf("bus-read row = %v", r)
+	}
+
+	r = findRow(t, tb, "P1 get the S")
+	if r[0] != "F(1)" || r[1] != "R(1)" || r[2] != "R(1)" || r[3] != "1" {
+		t.Fatalf("reacquire row = %v, want F(1) R(1) R(1) 1", r)
+	}
+}
+
+// TestFigure63LessInvalidationThanFigure62: the RWB run must invalidate
+// fewer copies ("note the substantial minimization of cache invalidation").
+func TestFigure63LessInvalidationThanFigure62(t *testing.T) {
+	countI := func(tb *Table) int {
+		n := 0
+		for _, row := range tb.Rows {
+			for _, cell := range row[:3] {
+				if cell == "I(-)" {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	rb := countI(figure62())
+	rwb := countI(figure63())
+	if rwb >= rb {
+		t.Fatalf("RWB shows %d Invalid cells, RB %d; want fewer under RWB", rwb, rb)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/memory"
+	"repro/internal/report"
+)
+
+// tableAlias keeps the Table re-export in experiments.go tidy.
+type tableAlias = report.Table
+
+// scenario drives a small machine one *operation* at a time, the way the
+// paper's Figure 6 walkthroughs do: issue an access, run the bus to
+// quiescence, snapshot the cache states. It bypasses the processor layer
+// so the rows land exactly on the figures' observation points.
+type scenario struct {
+	mem    *memory.Memory
+	bus    *bus.Bus
+	caches []*cache.Cache
+}
+
+func newScenario(proto coherence.Protocol, pes, lines int) *scenario {
+	s := &scenario{mem: memory.New()}
+	s.bus = bus.New(s.mem)
+	for i := 0; i < pes; i++ {
+		c := cache.MustNew(i, proto, cache.Config{Lines: lines})
+		s.bus.Attach(i, c)
+		s.bus.AttachRequester(i, c)
+		s.caches = append(s.caches, c)
+	}
+	return s
+}
+
+// settle runs bus cycles until the cache's pending operation resolves.
+func (s *scenario) settle(id int) bus.Word {
+	for cycle := 0; cycle < 10000; cycle++ {
+		if v, ok := s.caches[id].TakeResolved(); ok {
+			return v
+		}
+		for _, c := range s.caches {
+			if c.NeedsPriority() {
+				s.bus.PrioritySlot(c.ID())
+			} else if _, want := c.WantsBus(); want && !s.bus.Slotted(c.ID()) {
+				s.bus.RequestSlot(c.ID())
+			}
+		}
+		if req, res, ok := s.bus.Tick(); ok {
+			s.caches[req.Source].BusCompleted(req, res)
+		}
+	}
+	panic("scenario: operation did not settle")
+}
+
+func (s *scenario) read(id int, a bus.Addr) bus.Word {
+	if done, v := s.caches[id].Access(coherence.EvRead, a, 0, coherence.ClassShared); done {
+		return v
+	}
+	return s.settle(id)
+}
+
+func (s *scenario) write(id int, a bus.Addr, v bus.Word) {
+	if done, _ := s.caches[id].Access(coherence.EvWrite, a, v, coherence.ClassShared); done {
+		return
+	}
+	s.settle(id)
+}
+
+// testSet performs one Test-and-Set, returning the old value.
+func (s *scenario) testSet(id int, a bus.Addr, v bus.Word) bus.Word {
+	if done, old := s.caches[id].AccessRMW(a, v); done {
+		return old
+	}
+	return s.settle(id)
+}
+
+// testTestSet performs one Test-and-Test-and-Set attempt: a cached test,
+// escalating to the atomic operation only if the test saw 0. It returns
+// the observed/old value.
+func (s *scenario) testTestSet(id int, a bus.Addr, v bus.Word) bus.Word {
+	if got := s.read(id, a); got != 0 {
+		return got
+	}
+	return s.testSet(id, a, v)
+}
+
+// stateCell renders a cache's view of addr the way the figures do:
+// "R(0)", "L(1)", "I(-)"; NP(-) marks an address the cache never held.
+func (s *scenario) stateCell(id int, a bus.Addr) string {
+	st, v, ok := s.caches[id].Lookup(a)
+	if !ok {
+		return "NP(-)"
+	}
+	if st == coherence.Invalid {
+		return "I(-)"
+	}
+	return fmt.Sprintf("%s(%d)", st.Letter(), v)
+}
+
+// row appends a figure row: per-cache state cells, the memory word, the
+// bus transactions the step cost, and the observation label.
+func (s *scenario) row(t *report.Table, a bus.Addr, busBefore uint64, observation string) {
+	cells := make([]string, 0, len(s.caches)+3)
+	for id := range s.caches {
+		cells = append(cells, s.stateCell(id, a))
+	}
+	cells = append(cells, fmt.Sprint(s.mem.Peek(a)))
+	cells = append(cells, fmt.Sprint(s.busTxns()-busBefore))
+	cells = append(cells, observation)
+	t.AddRow(cells...)
+}
+
+func (s *scenario) busTxns() uint64 {
+	st := s.bus.Stats()
+	return st.Transactions()
+}
+
+// figureColumns builds the header used by all Figure 6 reproductions.
+func figureColumns(pes int) []string {
+	cols := make([]string, 0, pes+3)
+	for i := 1; i <= pes; i++ {
+		cols = append(cols, fmt.Sprintf("P%d Cache", i))
+	}
+	return append(cols, "S (mem)", "Bus txns", "Observation")
+}

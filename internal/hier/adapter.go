@@ -1,0 +1,259 @@
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+)
+
+// clusterLine is one entry of the inclusive cluster cache. The cluster
+// level never holds dirty data (the L1s are write-through), so a line is
+// either absent or a current copy of memory.
+type clusterLine struct {
+	valid bool
+	addr  bus.Addr
+	data  bus.Word
+}
+
+// globalOp identifies a global-bus transaction owed or completed.
+type globalOp struct {
+	op   bus.Op
+	addr bus.Addr
+	data bus.Word
+}
+
+// globalDone is a completed global transaction awaiting its local
+// consumer. The embedded globalOp is the *identity* the local retry must
+// match; results live in separate fields.
+type globalDone struct {
+	globalOp
+	fetched bus.Word // OpRead: the word memory returned
+	old     bus.Word // OpRMW: the locked read's observed value
+	success bool     // OpRMW: the set was performed
+}
+
+// adapter joins one cluster's local bus to the global bus. On the local
+// side it is the memory port (bus.Memory + StallableMemory + RMWMemory);
+// on the global side it is a snooper and requester.
+type adapter struct {
+	m     *Machine
+	id    int // cluster id == global bus source id
+	lines []clusterLine
+	nset  int
+	l1s   []*cache.Cache // filled in by New after the local bus is wired
+
+	pending *globalOp   // transaction owed to the global bus
+	done    *globalDone // completed, awaiting local consumption
+
+	hits uint64 // local misses served without the global bus
+}
+
+func newAdapter(m *Machine, id, lines int) (*adapter, error) {
+	if lines <= 0 || lines&(lines-1) != 0 {
+		return nil, fmt.Errorf("hier: ClusterLines = %d, need a positive power of two", lines)
+	}
+	return &adapter{m: m, id: id, lines: make([]clusterLine, lines), nset: lines}, nil
+}
+
+func (a *adapter) busy() bool { return a.pending != nil || a.done != nil }
+
+// lookup returns the cluster line for addr, or nil.
+func (a *adapter) lookup(ad bus.Addr) *clusterLine {
+	ln := &a.lines[int(ad)&(a.nset-1)]
+	if ln.valid && ln.addr == ad {
+		return ln
+	}
+	return nil
+}
+
+// install places addr in the cluster cache, maintaining inclusion: the
+// victim's L1 copies are invalidated in the same cycle (the combinational
+// downward snoop).
+func (a *adapter) install(ad bus.Addr, data bus.Word) {
+	ln := &a.lines[int(ad)&(a.nset-1)]
+	if ln.valid && ln.addr != ad {
+		a.invalidateDown(ln.addr)
+	}
+	*ln = clusterLine{valid: true, addr: ad, data: data}
+}
+
+// invalidateDown removes every L1 copy of addr in this cluster.
+const downSource = -1 // never a valid L1 id, so no snooper is excluded
+
+func (a *adapter) invalidateDown(ad bus.Addr) {
+	for _, c := range a.l1s {
+		c.ObserveWrite(bus.OpWrite, ad, 0, downSource)
+	}
+}
+
+// ensurePending queues op for the global bus if the adapter is free.
+func (a *adapter) ensurePending(op globalOp) {
+	if a.pending == nil && (a.done == nil || a.done.globalOp != op) {
+		o := op
+		a.pending = &o
+	}
+}
+
+// matchDone consumes and returns the completed transaction if it matches.
+func (a *adapter) matchDone(op globalOp) *globalDone {
+	if a.done != nil && a.done.globalOp == op {
+		d := a.done
+		a.done = nil
+		return d
+	}
+	return nil
+}
+
+// wantsGlobal reports whether the adapter needs a global grant. It holds
+// back while a completed transaction awaits consumption, so done is never
+// overwritten.
+func (a *adapter) wantsGlobal() bool { return a.pending != nil && a.done == nil }
+
+// --- local side: bus.Memory / StallableMemory / RMWMemory ---
+
+// Ready implements bus.StallableMemory: the local transaction can proceed
+// if the cluster cache can serve it or its global counterpart completed;
+// otherwise the needed global transaction is queued.
+func (a *adapter) Ready(r bus.Request) bool {
+	switch r.Op {
+	case bus.OpRead:
+		if a.lookup(r.Addr) != nil {
+			return true
+		}
+		op := globalOp{op: bus.OpRead, addr: r.Addr}
+		if a.done != nil && a.done.globalOp == op {
+			return true
+		}
+		a.ensurePending(op)
+		return false
+	case bus.OpWrite:
+		op := globalOp{op: bus.OpWrite, addr: r.Addr, data: r.Data}
+		if a.done != nil && a.done.globalOp == op {
+			return true
+		}
+		a.ensurePending(op)
+		return false
+	case bus.OpRMW:
+		op := globalOp{op: bus.OpRMW, addr: r.Addr, data: r.Data}
+		if a.done != nil && a.done.globalOp == op {
+			return true
+		}
+		a.ensurePending(op)
+		return false
+	}
+	return true
+}
+
+// ReadWord implements bus.Memory: serve from the cluster cache, or
+// consume the completed global read and install the line.
+func (a *adapter) ReadWord(ad bus.Addr) bus.Word {
+	if d := a.matchDone(globalOp{op: bus.OpRead, addr: ad}); d != nil {
+		a.install(ad, d.fetched)
+		return d.fetched
+	}
+	if ln := a.lookup(ad); ln != nil {
+		a.hits++
+		return ln.data
+	}
+	panic(fmt.Sprintf("hier: cluster %d read of %d with neither line nor completed fetch", a.id, ad))
+}
+
+// WriteWord implements bus.Memory: the matching global write already
+// updated memory and invalidated the other clusters; absorb it locally,
+// keeping the cluster line (if present) current.
+func (a *adapter) WriteWord(ad bus.Addr, w bus.Word) {
+	if d := a.matchDone(globalOp{op: bus.OpWrite, addr: ad, data: w}); d == nil {
+		panic(fmt.Sprintf("hier: cluster %d write of %d without a completed global write", a.id, ad))
+	}
+	if ln := a.lookup(ad); ln != nil {
+		ln.data = w
+	}
+}
+
+// RMW implements bus.RMWMemory: replay the globally executed atomic cycle.
+func (a *adapter) RMW(ad bus.Addr, set bus.Word) bus.Word {
+	d := a.matchDone(globalOp{op: bus.OpRMW, addr: ad, data: set})
+	if d == nil {
+		panic(fmt.Sprintf("hier: cluster %d RMW of %d without a completed global RMW", a.id, ad))
+	}
+	if d.success {
+		if ln := a.lookup(ad); ln != nil {
+			ln.data = set
+		}
+	}
+	return d.old
+}
+
+// --- global side: bus.Requester / bus.Snooper ---
+
+// BusGrant implements bus.Requester.
+func (a *adapter) BusGrant(bank, banks int) (bus.Request, bool) {
+	if !a.wantsGlobal() {
+		return bus.Request{}, false
+	}
+	return bus.Request{Source: a.id, Op: a.pending.op, Addr: a.pending.addr, Data: a.pending.data}, true
+}
+
+// globalCompleted folds a finished global transaction: record it for the
+// stalled local transaction, close the own-cluster staleness window, and
+// feed the machine's oracle at this — the — serialization point.
+func (a *adapter) globalCompleted(req bus.Request, res bus.Result) {
+	if a.pending == nil || a.pending.op != req.Op || a.pending.addr != req.Addr {
+		panic(fmt.Sprintf("hier: cluster %d completed unexpected %v addr %d", a.id, req.Op, req.Addr))
+	}
+	if res.Killed {
+		panic("hier: global read killed (no cluster ever owns dirty data)")
+	}
+	op := *a.pending
+	a.pending = nil
+	switch req.Op {
+	case bus.OpRead:
+		a.done = &globalDone{globalOp: op, fetched: res.Data}
+	case bus.OpWrite:
+		a.done = &globalDone{globalOp: op}
+		// The write is now globally visible: no copy below this cluster
+		// may survive with the old value (the issuing PE's own L1 line is
+		// refreshed when its local transaction completes).
+		if ln := a.lookup(req.Addr); ln != nil {
+			ln.data = req.Data
+		}
+		a.invalidateDown(req.Addr)
+		a.m.foldWrite(req.Addr, req.Data)
+	case bus.OpRMW:
+		a.done = &globalDone{globalOp: op, old: res.Data, success: res.RMWSuccess}
+		a.m.checkRMWOld(req.Addr, res.Data)
+		if res.RMWSuccess {
+			if ln := a.lookup(req.Addr); ln != nil {
+				ln.data = req.Data
+			}
+			a.invalidateDown(req.Addr)
+			a.m.foldWrite(req.Addr, req.Data)
+		}
+	}
+}
+
+// SnoopRead implements bus.Snooper: clusters never own dirty data, so
+// they never interrupt global reads.
+func (a *adapter) SnoopRead(ad bus.Addr, source int) (bool, bus.Word) { return false, 0 }
+
+// SnoopRMWRead implements bus.Snooper: nothing dirty, nothing to flush.
+func (a *adapter) SnoopRMWRead(ad bus.Addr, source int) (bool, bus.Word) { return false, 0 }
+
+// ObserveWrite implements bus.Snooper: another cluster wrote — invalidate
+// the cluster line and, inclusively, every L1 copy below it. A completed
+// but not-yet-consumed read fetch of the same address is now stale too:
+// drop it so the waiting local transaction refetches the new value.
+func (a *adapter) ObserveWrite(op bus.Op, ad bus.Addr, d bus.Word, source int) {
+	if ln := a.lookup(ad); ln != nil {
+		ln.valid = false
+		a.invalidateDown(ad)
+	}
+	if a.done != nil && a.done.op == bus.OpRead && a.done.addr == ad {
+		a.done = nil
+	}
+}
+
+// ObserveReadData implements bus.Snooper: cluster lines are always
+// current, so broadcast read data carries no news.
+func (a *adapter) ObserveReadData(ad bus.Addr, d bus.Word, source int) {}

@@ -1,0 +1,446 @@
+// Package machine assembles the paper's multiprocessor: N processing
+// elements, each with a private snooping cache, connected to shared memory
+// by one or more shared buses (Sections 2 and 7). It drives the whole
+// system at bus-cycle granularity and embeds a sequential-consistency
+// oracle that mechanically checks the Section 4 theorem — "Each PE always
+// reads the latest value written" — against the serialization order the
+// proof constructs (bus order, with in-cache operations interleaved at
+// their completion cycles).
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/memory"
+	"repro/internal/processor"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config describes a machine.
+type Config struct {
+	// Protocol is the coherence scheme all caches run. Defaults to RB.
+	Protocol coherence.Protocol
+	// CacheLines per private cache (power of two). Defaults to 1024.
+	CacheLines int
+	// CacheWays is the associativity (default 1, the paper's
+	// direct-mapped organization).
+	CacheWays int
+	// Buses is the number of interleaved shared buses (power of two,
+	// default 1; Figure 7-1 uses 2).
+	Buses int
+	// MemLatency is extra bus-hold cycles per memory-served transaction.
+	MemLatency int
+	// CheckConsistency enables the read-latest oracle on every retirement.
+	CheckConsistency bool
+	// TwoPhaseRMW selects the paper's textual Test-and-Set realization —
+	// a locked bus read, a processor test, and an unlocking write-back —
+	// instead of the fused single-transaction RMW the Figure 6 matrices
+	// assume. It costs two bus transactions per attempt (failed attempts
+	// included), making the TTS optimization even more valuable.
+	TwoPhaseRMW bool
+	// WatchdogCycles, when nonzero, aborts the run with a StallError if
+	// any PE stays blocked on one memory operation for more than this
+	// many cycles — the symptom of a protocol or arbitration deadlock.
+	// In a correct machine a blocked PE always progresses within a few
+	// cycles times the contention, so generous values (say 100000) never
+	// fire spuriously.
+	WatchdogCycles uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Protocol == nil {
+		c.Protocol = coherence.RB{}
+	}
+	if c.CacheLines == 0 {
+		c.CacheLines = 1024
+	}
+	if c.CacheWays == 0 {
+		c.CacheWays = 1
+	}
+	if c.Buses == 0 {
+		c.Buses = 1
+	}
+	return c
+}
+
+// ConsistencyError reports an oracle violation: a processor read a value
+// other than the latest one written in serialization order.
+type ConsistencyError struct {
+	Cycle    uint64
+	PE       int
+	Op       workload.Op
+	Got      bus.Word
+	Expected bus.Word
+}
+
+func (e *ConsistencyError) Error() string {
+	return fmt.Sprintf("machine: consistency violation at cycle %d: PE%d %v addr %d read %d, latest written is %d",
+		e.Cycle, e.PE, e.Op.Kind, e.Op.Addr, e.Got, e.Expected)
+}
+
+// StallError reports a watchdog trip: a processor made no progress on one
+// blocked memory operation for the configured number of cycles.
+type StallError struct {
+	Cycle   uint64
+	PE      int
+	Since   uint64 // cycle the operation was issued
+	Pending string // the cache's pending-transaction view, for diagnosis
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("machine: watchdog: PE%d blocked since cycle %d (now %d); cache state: %s",
+		e.PE, e.Since, e.Cycle, e.Pending)
+}
+
+// pristineMem interposes on the bus's memory port to record each word's
+// value before its first modification. The oracle needs it: a read of a
+// never-(retired-)written address must match the address's pristine
+// content, but by the time the retirement is checked the very transaction
+// being retired may already have modified memory (an RMW writes its lock
+// within the same bus cycle).
+type pristineMem struct {
+	*memory.Memory
+	initial map[bus.Addr]bus.Word
+}
+
+func (p *pristineMem) WriteWord(a bus.Addr, w bus.Word) {
+	if _, seen := p.initial[a]; !seen {
+		p.initial[a] = p.Peek(a)
+	}
+	p.Memory.WriteWord(a, w)
+}
+
+// pristine returns the address's value from before any bus write touched
+// it.
+func (p *pristineMem) pristine(a bus.Addr) bus.Word {
+	if v, seen := p.initial[a]; seen {
+		return v
+	}
+	return p.Peek(a)
+}
+
+// Machine is the assembled multiprocessor.
+type Machine struct {
+	cfg    Config
+	mem    *pristineMem
+	buses  *bus.Set
+	caches []*cache.Cache
+	procs  []*processor.Processor
+	agents []workload.Agent
+
+	oracle   map[bus.Addr]bus.Word
+	slotBank []int
+	cycle    uint64
+	err      error
+
+	issueCycle []uint64 // per PE: cycle its in-flight op was issued (0 = none)
+	missLat    stats.Histogram
+}
+
+// New builds a machine running one agent per processing element.
+func New(cfg Config, agents []workload.Agent) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("machine: no agents")
+	}
+	m := &Machine{
+		cfg:    cfg,
+		mem:    &pristineMem{Memory: memory.New(), initial: make(map[bus.Addr]bus.Word)},
+		agents: agents,
+		oracle: make(map[bus.Addr]bus.Word),
+	}
+	m.buses = bus.NewSet(m.mem, cfg.Buses)
+	m.buses.SetMemLatency(cfg.MemLatency)
+	for i, agent := range agents {
+		c, err := cache.New(i, cfg.Protocol, cache.Config{Lines: cfg.CacheLines, Ways: cfg.CacheWays})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CheckConsistency {
+			pe := i
+			c.OnResolve = func(info cache.ResolveInfo) { m.checkResolve(pe, info) }
+		}
+		m.buses.Attach(i, c)
+		m.buses.AttachRequester(i, c)
+		m.caches = append(m.caches, c)
+		proc := processor.New(i, agent, c)
+		proc.SetTwoPhaseRMW(cfg.TwoPhaseRMW)
+		m.procs = append(m.procs, proc)
+		m.slotBank = append(m.slotBank, -1)
+		m.issueCycle = append(m.issueCycle, 0)
+	}
+	return m, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(cfg Config, agents []workload.Agent) *Machine {
+	m, err := New(cfg, agents)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Memory returns the shared main memory.
+func (m *Machine) Memory() *memory.Memory { return m.mem.Memory }
+
+// Buses returns the shared bus set.
+func (m *Machine) Buses() *bus.Set { return m.buses }
+
+// Cache returns PE i's private cache.
+func (m *Machine) Cache(i int) *cache.Cache { return m.caches[i] }
+
+// Proc returns PE i.
+func (m *Machine) Proc(i int) *processor.Processor { return m.procs[i] }
+
+// Processors returns the PE count.
+func (m *Machine) Processors() int { return len(m.procs) }
+
+// Cycle returns the number of cycles executed.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Err returns the first consistency violation, if any.
+func (m *Machine) Err() error { return m.err }
+
+// Done reports whether every PE has halted and no cache work is in flight.
+func (m *Machine) Done() bool {
+	for i, p := range m.procs {
+		if !p.Halted() || m.caches[i].Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step executes one bus cycle: bus phase, completion deliveries, CPU
+// phase, and request-line management. It returns the first consistency
+// violation encountered (and remembers it; subsequent Steps keep failing).
+func (m *Machine) Step() error {
+	if m.err != nil {
+		return m.err
+	}
+	m.cycle++
+
+	// 1. Bus phase: each bank executes at most one transaction. The
+	// oracle check happens inside the cache's OnResolve hook at the
+	// moment the value binds (possibly *within* the Tick, when a grant is
+	// withdrawn because a snooped write already satisfied the operation);
+	// here we only deliver bound values back to their processors.
+	for _, g := range m.buses.Tick() {
+		c := m.caches[g.Req.Source]
+		switch c.BusCompleted(g.Req, g.Res) {
+		case cache.ProgressRetry, cache.ProgressMoreUrgent:
+			m.buses.PrioritySlot(g.Req.Addr, g.Req.Source)
+		}
+		if v, ok := c.TakeResolved(); ok {
+			m.deliver(g.Req.Source, v)
+		}
+	}
+
+	// 2. CPU phase: every ready PE issues one operation; in-cache hits
+	// bind (and are oracle-checked via OnResolve) here, after this
+	// cycle's bus transactions.
+	for i, p := range m.procs {
+		p.CPUPhase()
+		if p.Status() == processor.StatusBlocked && m.issueCycle[i] == 0 {
+			m.issueCycle[i] = m.cycle
+		}
+	}
+
+	// 3. Request lines: assert/deassert to match each cache's needs.
+	// Planning can resolve an operation without the bus (a snooped write
+	// satisfied it); such resolutions bind their value now and are
+	// delivered at the end of the cycle.
+	for i, c := range m.caches {
+		if c.NeedsPriority() {
+			continue // priority slot already asserted at interrupt time
+		}
+		if addr, want := c.WantsBus(); want {
+			bank := m.buses.BankOf(addr)
+			if m.slotBank[i] != bank && m.slotBank[i] >= 0 {
+				m.buses.CancelSlot(i)
+			}
+			m.buses.RequestSlot(addr, i)
+			m.slotBank[i] = bank
+		} else if m.slotBank[i] >= 0 {
+			m.buses.CancelSlot(i)
+			m.slotBank[i] = -1
+		}
+	}
+	for i, c := range m.caches {
+		if v, ok := c.TakeResolved(); ok {
+			m.deliver(i, v)
+		}
+	}
+
+	// Watchdog: a PE stuck on one operation signals a machine bug.
+	if m.cfg.WatchdogCycles > 0 && m.err == nil {
+		for i, since := range m.issueCycle {
+			if since > 0 && m.cycle-since > m.cfg.WatchdogCycles {
+				addr, wants := m.caches[i].WantsBus()
+				m.err = &StallError{
+					Cycle: m.cycle, PE: i, Since: since,
+					Pending: fmt.Sprintf("wantsBus=%v addr=%d priority=%v",
+						wants, addr, m.caches[i].NeedsPriority()),
+				}
+				break
+			}
+		}
+	}
+	return m.err
+}
+
+// deliver completes PE i's blocked operation, recording its miss latency
+// (cycles from issue to delivery inclusive).
+func (m *Machine) deliver(i int, v bus.Word) {
+	if start := m.issueCycle[i]; start > 0 {
+		m.missLat.Observe(m.cycle - start + 1)
+		m.issueCycle[i] = 0
+	}
+	m.procs[i].Deliver(v)
+}
+
+// checkResolve folds one bound operation into the oracle, at its binding
+// (serialization) point.
+func (m *Machine) checkResolve(pe int, info cache.ResolveInfo) {
+	a := info.Addr
+	switch {
+	case info.RMW:
+		op := workload.TestSet(a, info.Data)
+		if exp := m.latest(a); info.Value != exp && m.err == nil {
+			m.err = &ConsistencyError{Cycle: m.cycle, PE: pe, Op: op, Got: info.Value, Expected: exp}
+		}
+		if info.Value == 0 {
+			m.oracle[a] = info.Data
+		}
+	case info.Ev == coherence.EvWrite:
+		m.oracle[a] = info.Data
+	default:
+		op := workload.Read(a, coherence.ClassUnknown)
+		if exp := m.latest(a); info.Value != exp && m.err == nil {
+			m.err = &ConsistencyError{Cycle: m.cycle, PE: pe, Op: op, Got: info.Value, Expected: exp}
+		}
+	}
+}
+
+// latest returns the newest written value for an address; before any write
+// retires, that is the pristine memory content (a writeback or flush never
+// touches an address without a prior retired write, so the oracle entry
+// always exists when memory has been modified by program writes).
+func (m *Machine) latest(a bus.Addr) bus.Word {
+	if v, ok := m.oracle[a]; ok {
+		return v
+	}
+	return m.mem.pristine(a)
+}
+
+// Run executes cycles until every PE halts (and caches drain) or maxCycles
+// elapse. It returns the number of cycles executed and the first
+// consistency violation, if any.
+func (m *Machine) Run(maxCycles uint64) (uint64, error) {
+	start := m.cycle
+	for m.cycle-start < maxCycles && !m.Done() {
+		if err := m.Step(); err != nil {
+			return m.cycle - start, err
+		}
+	}
+	return m.cycle - start, m.err
+}
+
+// RunFor executes exactly n cycles (unless a violation aborts the run).
+func (m *Machine) RunFor(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyFinalMemory checks, after the machine is Done, that draining every
+// dirty cache line into memory yields exactly the oracle's view — the
+// whole-run analogue of the Section 4 lemma's "latest value" clause. It
+// does not modify the simulated memory.
+func (m *Machine) VerifyFinalMemory() error {
+	if !m.Done() {
+		return fmt.Errorf("machine: VerifyFinalMemory before Done")
+	}
+	final := m.mem.Snapshot()
+	dirtyOwners := make(map[bus.Addr]int)
+	for i, c := range m.caches {
+		for _, e := range c.Entries() {
+			if e.Dirty {
+				if prev, dup := dirtyOwners[e.Addr]; dup {
+					return fmt.Errorf("machine: caches %d and %d both hold addr %d dirty", prev, i, e.Addr)
+				}
+				dirtyOwners[e.Addr] = i
+				final[e.Addr] = e.Data
+			}
+		}
+	}
+	// Compare against the oracle on every address it knows.
+	addrs := make([]bus.Addr, 0, len(m.oracle))
+	for a := range m.oracle {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if final[a] != m.oracle[a] {
+			return fmt.Errorf("machine: final value of addr %d is %d, oracle says %d", a, final[a], m.oracle[a])
+		}
+	}
+	return nil
+}
+
+// Metrics is an aggregate snapshot of the whole machine.
+type Metrics struct {
+	Cycles             uint64
+	Bus                bus.Stats
+	PerBusTransactions []uint64
+	Caches             []cache.Stats
+	Procs              []processor.Stats
+	// MissLatency is the distribution of cycles each bus-serviced
+	// operation kept its processor blocked (issue to delivery).
+	MissLatency stats.Histogram
+}
+
+// Metrics returns the current counters.
+func (m *Machine) Metrics() Metrics {
+	mt := Metrics{
+		Cycles:             m.cycle,
+		Bus:                m.buses.Stats(),
+		PerBusTransactions: m.buses.PerBusTransactions(),
+		MissLatency:        m.missLat,
+	}
+	for _, c := range m.caches {
+		mt.Caches = append(mt.Caches, c.Stats())
+	}
+	for _, p := range m.procs {
+		mt.Procs = append(mt.Procs, p.Stats())
+	}
+	return mt
+}
+
+// TotalRefs sums retired memory operations across PEs.
+func (mt Metrics) TotalRefs() uint64 {
+	var t uint64
+	for _, p := range mt.Procs {
+		t += p.Retired
+	}
+	return t
+}
+
+// BusPerRef returns bus transactions per retired memory operation, the
+// paper's figure of merit for every scheme comparison.
+func (mt Metrics) BusPerRef() float64 {
+	refs := mt.TotalRefs()
+	if refs == 0 {
+		return 0
+	}
+	return float64(mt.Bus.Transactions()) / float64(refs)
+}

@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Sampler drives a Machine while firing scheduled observations on a
+// virtual clock aligned with machine cycles, using the discrete-event
+// kernel. It is how time-series measurements (bus utilization over time,
+// lock-convoy phases, warmup-vs-steady-state miss ratios) are taken
+// without polluting the machine's own cycle loop.
+type Sampler struct {
+	m    *Machine
+	loop *event.Loop
+}
+
+// NewSampler wraps a machine. The sampler's clock starts at the machine's
+// current cycle.
+func NewSampler(m *Machine) *Sampler {
+	s := &Sampler{m: m, loop: event.New()}
+	if c := m.Cycle(); c > 0 {
+		s.loop.Advance(event.Time(c))
+	}
+	return s
+}
+
+// Every schedules fn at each multiple of interval cycles from now, for the
+// lifetime of the run. fn receives the machine at the sampling instant.
+func (s *Sampler) Every(interval uint64, fn func(m *Machine)) {
+	if interval == 0 {
+		panic("machine: zero sampling interval")
+	}
+	var tick event.Func
+	tick = func(now event.Time) {
+		fn(s.m)
+		s.loop.After(event.Time(interval), tick)
+	}
+	s.loop.After(event.Time(interval), tick)
+}
+
+// At schedules fn once at the given absolute machine cycle.
+func (s *Sampler) At(cycle uint64, fn func(m *Machine)) {
+	s.loop.At(event.Time(cycle), fn2(s.m, fn))
+}
+
+func fn2(m *Machine, fn func(*Machine)) event.Func {
+	return func(event.Time) { fn(m) }
+}
+
+// Run steps the machine until it is done or maxCycles elapse, firing
+// scheduled observations at their exact cycles (an observation at cycle c
+// sees the machine state after cycle c completed).
+func (s *Sampler) Run(maxCycles uint64) (uint64, error) {
+	start := s.m.Cycle()
+	for s.m.Cycle()-start < maxCycles && !s.m.Done() {
+		if err := s.m.Step(); err != nil {
+			return s.m.Cycle() - start, err
+		}
+		s.loop.RunUntil(event.Time(s.m.Cycle()))
+	}
+	return s.m.Cycle() - start, s.m.Err()
+}
+
+// UtilizationSeries samples bus utilization over windows of the given
+// interval while running the machine to completion: the time-series view
+// of the Section 7 saturation analysis. It returns one utilization value
+// per completed window.
+func (s *Sampler) UtilizationSeries(interval, maxCycles uint64) ([]float64, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("machine: zero sampling interval")
+	}
+	var series []float64
+	var lastBusy, lastTotal uint64
+	s.Every(interval, func(m *Machine) {
+		st := m.buses.Stats()
+		busy, total := st.BusyCycles, st.BusyCycles+st.IdleCycles
+		if total > lastTotal {
+			series = append(series, float64(busy-lastBusy)/float64(total-lastTotal))
+		}
+		lastBusy, lastTotal = busy, total
+	})
+	if _, err := s.Run(maxCycles); err != nil {
+		return series, err
+	}
+	return series, nil
+}

@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestBarrierAcrossProtocols runs the sense-reversing barrier on the full
+// machine under every coherent protocol: all participants must complete
+// every round, the built-in semantics check (no peer observed behind the
+// barrier) must hold, and the consistency oracle stays silent.
+func TestBarrierAcrossProtocols(t *testing.T) {
+	for _, proto := range []string{"rb", "rwb", "goodman", "writethrough", "nocache"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			const pes, rounds = 4, 8
+			var agents []workload.Agent
+			var barriers []*workload.Barrier
+			for i := 0; i < pes; i++ {
+				b := workload.MustBarrier(workload.BarrierConfig{
+					Lock: 0, Counter: 1, Sense: 2, Progress: 16,
+					Participants: pes, Rounds: rounds,
+					WorkCycles: 3 + i, // desynchronize arrivals
+					ID:         i,
+				})
+				barriers = append(barriers, b)
+				agents = append(agents, b)
+			}
+			m := MustNew(Config{Protocol: protoOrDie(t, proto), CheckConsistency: true}, agents)
+			if _, err := m.Run(10_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !m.Done() {
+				t.Fatal("barrier deadlocked")
+			}
+			for i, b := range barriers {
+				if b.Rounds() != rounds {
+					t.Errorf("PE%d completed %d rounds, want %d", i, b.Rounds(), rounds)
+				}
+				if err := b.Err(); err != nil {
+					t.Errorf("PE%d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBarrierSpinningIsCacheResident: under RB, the sense-word spinning
+// between arrivals must be far cheaper than under the no-cache baseline.
+func TestBarrierSpinningIsCacheResident(t *testing.T) {
+	run := func(proto string) float64 {
+		const pes, rounds = 4, 10
+		var agents []workload.Agent
+		for i := 0; i < pes; i++ {
+			agents = append(agents, workload.MustBarrier(workload.BarrierConfig{
+				Lock: 0, Counter: 1, Sense: 2, Progress: 16,
+				Participants: pes, Rounds: rounds,
+				WorkCycles: 1 + 40*i, // one very late arriver => long spins
+				ID:         i,
+			}))
+		}
+		m := MustNew(Config{Protocol: protoOrDie(t, proto), CheckConsistency: true}, agents)
+		if _, err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Done() {
+			t.Fatal("not done")
+		}
+		mt := m.Metrics()
+		return mt.BusPerRef()
+	}
+	rb, nocache := run("rb"), run("nocache")
+	if rb*3 > nocache {
+		t.Fatalf("rb bus/ref %.3f not well below nocache %.3f", rb, nocache)
+	}
+}
+
+// TestSemaphoreAcrossProtocols: P/V pairs balance and nothing deadlocks.
+func TestSemaphoreAcrossProtocols(t *testing.T) {
+	for _, proto := range []string{"rb", "rwb", "goodman"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			const pes, iters = 4, 10
+			const capacity = 2
+			var agents []workload.Agent
+			var sems []*workload.Semaphore
+			for i := 0; i < pes; i++ {
+				s := workload.MustSemaphore(workload.SemaphoreConfig{
+					Lock: 0, Count: 1, Iterations: iters,
+					HoldCycles: 5,
+					Initialize: i == 0, Capacity: capacity,
+				})
+				sems = append(sems, s)
+				agents = append(agents, s)
+			}
+			m := MustNew(Config{Protocol: protoOrDie(t, proto), CheckConsistency: true}, agents)
+			if _, err := m.Run(10_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !m.Done() {
+				t.Fatal("semaphore deadlocked")
+			}
+			for i, s := range sems {
+				if s.Completed() != iters {
+					t.Errorf("PE%d completed %d, want %d", i, s.Completed(), iters)
+				}
+			}
+			// All units returned: the count is back at capacity. The
+			// latest value may live in a dirty cache line, so consult the
+			// logical view.
+			final := m.Memory().Peek(1)
+			for pe := 0; pe < pes; pe++ {
+				for _, e := range m.Cache(pe).Entries() {
+					if e.Addr == 1 && e.Dirty {
+						final = e.Data
+					}
+				}
+			}
+			if final != capacity {
+				t.Errorf("final semaphore count = %d, want %d", final, capacity)
+			}
+		})
+	}
+}

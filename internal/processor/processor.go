@@ -1,0 +1,224 @@
+// Package processor models a processing element: it executes a reactive
+// workload.Agent one operation per cycle against its private cache,
+// blocking while the cache completes bus work (paper assumption 5: the PE
+// waits for the cache, never the other way around).
+package processor
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// Status is the PE's execution state.
+type Status uint8
+
+const (
+	// StatusReady: the PE will issue its next operation this CPU phase.
+	StatusReady Status = iota
+	// StatusBlocked: an access is in the cache/bus pipeline.
+	StatusBlocked
+	// StatusComputing: executing processor-internal work.
+	StatusComputing
+	// StatusHalted: the agent returned OpHalt.
+	StatusHalted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusReady:
+		return "ready"
+	case StatusBlocked:
+		return "blocked"
+	case StatusComputing:
+		return "computing"
+	case StatusHalted:
+		return "halted"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Stats counts retired operations and stall time.
+type Stats struct {
+	Reads         uint64
+	Writes        uint64
+	TestSets      uint64
+	ComputeCycles uint64
+	StallCycles   uint64 // cycles spent blocked on the cache
+	Retired       uint64 // total memory operations completed
+}
+
+// Retirement describes one completed memory operation, as delivered to the
+// machine's consistency oracle.
+type Retirement struct {
+	PE    int
+	Op    workload.Op
+	Value bus.Word // read value / Test-and-Set old value
+}
+
+// Processor is one PE.
+type Processor struct {
+	id     int
+	agent  workload.Agent
+	cache  *cache.Cache
+	status Status
+
+	current    workload.Op // in-flight operation (StatusBlocked)
+	computing  int         // remaining compute cycles
+	lastResult workload.Result
+	stats      Stats
+
+	// Two-phase Test-and-Set (the paper's textual read-with-lock /
+	// write-with-unlock realization, selected by the machine).
+	twoPhase bool
+	tsPhase  uint8 // 0 idle, 1 awaiting locked read, 2 awaiting unlock
+	tsOld    bus.Word
+}
+
+// SetTwoPhaseRMW selects the two-phase Test-and-Set realization: a locked
+// bus read, a processor-side test, and an unlocking write-back (of the
+// new value on success, of the old value on failure), instead of the
+// fused bus read-modify-write transaction.
+func (p *Processor) SetTwoPhaseRMW(on bool) { p.twoPhase = on }
+
+// New wires a PE to its cache and program.
+func New(id int, agent workload.Agent, c *cache.Cache) *Processor {
+	if agent == nil || c == nil {
+		panic("processor: nil agent or cache")
+	}
+	return &Processor{id: id, agent: agent, cache: c}
+}
+
+// ID returns the PE index.
+func (p *Processor) ID() int { return p.id }
+
+// Status returns the current execution state.
+func (p *Processor) Status() Status { return p.status }
+
+// Halted reports whether the program has finished.
+func (p *Processor) Halted() bool { return p.status == StatusHalted }
+
+// Stats returns a snapshot of the counters.
+func (p *Processor) Stats() Stats { return p.stats }
+
+// Cache returns the PE's private cache.
+func (p *Processor) Cache() *cache.Cache { return p.cache }
+
+// CPUPhase runs the PE for one cycle. If a memory operation completes
+// immediately (a cache hit), the retirement is returned for the oracle;
+// otherwise ret is nil.
+func (p *Processor) CPUPhase() (ret *Retirement) {
+	switch p.status {
+	case StatusHalted:
+		return nil
+	case StatusBlocked:
+		p.stats.StallCycles++
+		return nil
+	case StatusComputing:
+		p.computing--
+		p.stats.ComputeCycles++
+		if p.computing <= 0 {
+			p.status = StatusReady
+		}
+		return nil
+	}
+	op := p.agent.Next(p.lastResult)
+	p.lastResult = workload.Result{}
+	switch op.Kind {
+	case workload.OpHalt:
+		p.status = StatusHalted
+		return nil
+	case workload.OpCompute:
+		if op.Cycles > 0 {
+			p.status = StatusComputing
+			p.computing = op.Cycles
+			p.computing-- // this cycle counts
+			p.stats.ComputeCycles++
+			if p.computing <= 0 {
+				p.status = StatusReady
+			}
+		}
+		return nil
+	case workload.OpRead, workload.OpWrite:
+		ev := coherence.EvRead
+		if op.Kind == workload.OpWrite {
+			ev = coherence.EvWrite
+		}
+		done, v := p.cache.Access(ev, op.Addr, op.Data, op.Class)
+		if done {
+			return p.retire(op, v)
+		}
+		p.current = op
+		p.status = StatusBlocked
+		return nil
+	case workload.OpTestSet:
+		if p.twoPhase {
+			// The in-cache fast path still applies when the line is
+			// exclusive; otherwise start phase 1: the locked read.
+			if done, old := p.cache.TryLocalRMW(op.Addr, op.Data); done {
+				return p.retire(op, old)
+			}
+			p.cache.AccessLockedRead(op.Addr)
+			p.current = op
+			p.status = StatusBlocked
+			p.tsPhase = 1
+			return nil
+		}
+		done, old := p.cache.AccessRMW(op.Addr, op.Data)
+		if done {
+			return p.retire(op, old)
+		}
+		p.current = op
+		p.status = StatusBlocked
+		return nil
+	}
+	panic(fmt.Sprintf("processor %d: unknown op kind %v", p.id, op.Kind))
+}
+
+// Deliver completes the blocked operation with the value the cache
+// resolved, returning the retirement (nil while a two-phase Test-and-Set
+// is between its locked read and its unlocking write).
+func (p *Processor) Deliver(v bus.Word) *Retirement {
+	if p.status != StatusBlocked {
+		panic(fmt.Sprintf("processor %d: Deliver while %v", p.id, p.status))
+	}
+	switch p.tsPhase {
+	case 1:
+		// Locked read done: test, then store back with unlock — the new
+		// value on success, the untouched old value on failure ("the PE
+		// then performs some operation on the value that may modify it").
+		p.tsOld = v
+		if v == 0 {
+			p.cache.AccessUnlockWrite(p.current.Addr, p.current.Data, true)
+		} else {
+			p.cache.AccessUnlockWrite(p.current.Addr, v, false)
+		}
+		p.tsPhase = 2
+		return nil // still blocked on phase 2
+	case 2:
+		p.tsPhase = 0
+		op := p.current
+		p.status = StatusReady
+		return p.retire(op, p.tsOld)
+	}
+	op := p.current
+	p.status = StatusReady
+	return p.retire(op, v)
+}
+
+func (p *Processor) retire(op workload.Op, v bus.Word) *Retirement {
+	p.stats.Retired++
+	switch op.Kind {
+	case workload.OpRead:
+		p.stats.Reads++
+	case workload.OpWrite:
+		p.stats.Writes++
+	case workload.OpTestSet:
+		p.stats.TestSets++
+	}
+	p.lastResult = workload.Result{Value: v}
+	return &Retirement{PE: p.id, Op: op, Value: v}
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labeled values as a horizontal ASCII bar chart — the
+// closest a terminal gets to the paper's figures. Bars scale to width
+// characters for the largest value; each row shows the label, the bar,
+// and the numeric value.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("report: %d labels for %d values", len(labels), len(values)))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	labelW := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		bar := 0
+		if max > 0 && v > 0 {
+			bar = int(v / max * float64(width))
+			if bar == 0 {
+				bar = 1 // visible sliver for tiny nonzero values
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s %s\n", labelW, labels[i], width, strings.Repeat("#", bar), FormatFloat(v))
+	}
+	return b.String()
+}
+
+// ChartFromTable renders one numeric column of a table as a bar chart,
+// labeling each bar with the values of the label columns joined by "/".
+// Non-numeric cells chart as zero.
+func ChartFromTable(t *Table, labelCols []int, valueCol int, width int) string {
+	labels := make([]string, 0, len(t.Rows))
+	values := make([]float64, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		parts := make([]string, 0, len(labelCols))
+		for _, c := range labelCols {
+			if c < len(row) {
+				parts = append(parts, row[c])
+			}
+		}
+		labels = append(labels, strings.Join(parts, "/"))
+		var v float64
+		if valueCol < len(row) {
+			fmt.Sscanf(row[valueCol], "%g", &v)
+		}
+		values = append(values, v)
+	}
+	title := fmt.Sprintf("%s — %s", t.Title, t.Columns[valueCol])
+	return BarChart(title, labels, values, width)
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "table1-1",
+		Title:   "Cm* Emulated Cache Results",
+		Note:    "synthetic workload",
+		Columns: []string{"Cache Size", "Read Miss %"},
+	}
+	t.AddRow("256", "26.1")
+	t.AddRowf(512, 21.7)
+	return t
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b", "c"}}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3", "4")
+	if len(tb.Rows[0]) != 3 || tb.Rows[0][1] != "" {
+		t.Fatalf("row 0 = %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 3 || tb.Rows[1][2] != "3" {
+		t.Fatalf("row 1 = %v", tb.Rows[1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:     "0",
+		0.123: "0.123",
+		1.25:  "1.2",
+		26.1:  "26.1",
+		128:   "128",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPlainRendering(t *testing.T) {
+	out := sample().Plain()
+	for _, want := range []string{"Cm* Emulated Cache Results", "table1-1", "Cache Size", "26.1", "note: synthetic workload", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plain output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: both data rows start at the same offsets.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"**Cm* Emulated Cache Results**", "| Cache Size | Read Miss % |", "|---|---|", "| 256 | 26.1 |", "*synthetic workload*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := &Table{Columns: []string{"name", "value"}}
+	tb.AddRow(`quo"ted`, "a,b")
+	out := tb.CSV()
+	if !strings.Contains(out, `"quo""ted"`) || !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	tb := sample()
+	if tb.Render("csv") != tb.CSV() {
+		t.Error("csv dispatch")
+	}
+	if tb.Render("md") != tb.Markdown() {
+		t.Error("md dispatch")
+	}
+	if tb.Render("markdown") != tb.Markdown() {
+		t.Error("markdown dispatch")
+	}
+	if tb.Render("weird") != tb.Plain() {
+		t.Error("fallback dispatch")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("speeds", []string{"a", "bb"}, []float64{10, 5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "speeds" {
+		t.Fatalf("chart = %q", out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#####") || strings.Contains(lines[2], "######") {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+	// Tiny nonzero values keep a visible sliver; zeros stay empty.
+	out = BarChart("", []string{"x", "y"}, []float64{1000, 0.1}, 10)
+	if !strings.Contains(strings.Split(out, "\n")[1], "#") {
+		t.Fatal("tiny value lost its sliver")
+	}
+	out = BarChart("", []string{"x"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatal("zero value drew a bar")
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels/values did not panic")
+		}
+	}()
+	BarChart("", []string{"a"}, nil, 10)
+}
+
+func TestChartFromTable(t *testing.T) {
+	tb := &Table{
+		Title:   "sweep",
+		Columns: []string{"proto", "pes", "util"},
+	}
+	tb.AddRow("rb", "4", "0.5")
+	tb.AddRow("rb", "8", "1.0")
+	out := ChartFromTable(tb, []int{0, 1}, 2, 20)
+	if !strings.Contains(out, "rb/4") || !strings.Contains(out, "rb/8") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	if !strings.Contains(out, "sweep — util") {
+		t.Fatalf("title missing: %q", out)
+	}
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatalf("full bar missing: %q", out)
+	}
+}

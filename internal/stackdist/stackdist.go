@@ -1,0 +1,141 @@
+// Package stackdist implements Mattson's stack algorithm: a single pass
+// over a reference trace yields the exact miss ratio of every
+// fully-associative LRU cache size simultaneously. It is the classic tool
+// behind miss-ratio curves like Table 1-1's — the paper's own
+// justification for choosing cache sizes — and this repository uses it to
+// analyze the synthetic workloads' locality (cmd/tracestat -misscurve)
+// and to cross-validate the cache simulator (a fully-associative cache of
+// size S must miss exactly when the stack distance is >= S).
+package stackdist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bus"
+)
+
+// Cold is the reuse distance reported for a first-ever reference.
+const Cold = int(^uint(0) >> 1)
+
+// Profiler maintains the LRU stack and the reuse-distance histogram.
+type Profiler struct {
+	stack  []bus.Addr // most recently used first
+	index  map[bus.Addr]int
+	counts map[int]uint64 // reuse distance -> occurrences
+	colds  uint64
+	refs   uint64
+}
+
+// New creates an empty profiler.
+func New() *Profiler {
+	return &Profiler{
+		index:  make(map[bus.Addr]int),
+		counts: make(map[int]uint64),
+	}
+}
+
+// Touch records a reference and returns its reuse (stack) distance:
+// the number of distinct addresses referenced since the previous touch of
+// a, or Cold for a first reference. A fully-associative LRU cache of S
+// lines hits exactly the references with distance < S.
+func (p *Profiler) Touch(a bus.Addr) int {
+	p.refs++
+	pos, seen := p.index[a]
+	if !seen {
+		p.colds++
+		p.push(a)
+		return Cold
+	}
+	// Move to front; everything above shifts down.
+	copy(p.stack[1:pos+1], p.stack[:pos])
+	p.stack[0] = a
+	for i := 0; i <= pos; i++ {
+		p.index[p.stack[i]] = i
+	}
+	p.counts[pos]++
+	return pos
+}
+
+func (p *Profiler) push(a bus.Addr) {
+	p.stack = append(p.stack, a)
+	copy(p.stack[1:], p.stack[:len(p.stack)-1])
+	p.stack[0] = a
+	for i := range p.stack {
+		p.index[p.stack[i]] = i
+	}
+}
+
+// Refs returns the number of references recorded.
+func (p *Profiler) Refs() uint64 { return p.refs }
+
+// Colds returns the number of first-ever references (compulsory misses).
+func (p *Profiler) Colds() uint64 { return p.colds }
+
+// Footprint returns the number of distinct addresses seen.
+func (p *Profiler) Footprint() int { return len(p.stack) }
+
+// Misses returns the exact miss count of a fully-associative LRU cache
+// with the given number of lines: cold misses plus every reuse at
+// distance >= lines.
+func (p *Profiler) Misses(lines int) uint64 {
+	if lines <= 0 {
+		return p.refs
+	}
+	misses := p.colds
+	for d, c := range p.counts {
+		if d >= lines {
+			misses += c
+		}
+	}
+	return misses
+}
+
+// MissRatio returns Misses(lines)/Refs.
+func (p *Profiler) MissRatio(lines int) float64 {
+	if p.refs == 0 {
+		return 0
+	}
+	return float64(p.Misses(lines)) / float64(p.refs)
+}
+
+// CurvePoint is one (size, miss ratio) sample.
+type CurvePoint struct {
+	Lines     int
+	Misses    uint64
+	MissRatio float64
+}
+
+// Curve evaluates the miss curve at the given sizes (sorted ascending in
+// the result).
+func (p *Profiler) Curve(sizes []int) []CurvePoint {
+	out := make([]CurvePoint, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, CurvePoint{Lines: s, Misses: p.Misses(s), MissRatio: p.MissRatio(s)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lines < out[j].Lines })
+	return out
+}
+
+// PowersOfTwo returns 2^lo .. 2^hi inclusive, the conventional sweep.
+func PowersOfTwo(lo, hi int) []int {
+	if lo < 0 || hi < lo || hi > 30 {
+		panic(fmt.Sprintf("stackdist: bad power range [%d, %d]", lo, hi))
+	}
+	var out []int
+	for i := lo; i <= hi; i++ {
+		out = append(out, 1<<uint(i))
+	}
+	return out
+}
+
+// Distances returns the raw reuse-distance histogram (excluding colds),
+// sorted by distance.
+func (p *Profiler) Distances() []CurvePoint {
+	out := make([]CurvePoint, 0, len(p.counts))
+	for d, c := range p.counts {
+		out = append(out, CurvePoint{Lines: d, Misses: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lines < out[j].Lines })
+	return out
+}

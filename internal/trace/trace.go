@@ -1,0 +1,399 @@
+// Package trace serializes memory-reference traces: the workload streams
+// the generators synthesize can be captured to a file, inspected
+// (cmd/tracestat), and replayed into the simulator (cmd/mimdsim
+// -trace). Two formats are provided: a compact binary encoding (varint
+// delta-coded addresses, the natural archival format) and a line-oriented
+// text form that is easy to write by hand for small scenario scripts.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/bus"
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// Record is one trace entry: a PE index plus the operation it issued.
+type Record struct {
+	PE int
+	Op workload.Op
+}
+
+// magic identifies the binary format ("MCT1": MIMD cache trace v1).
+var magic = [4]byte{'M', 'C', 'T', '1'}
+
+// ErrBadMagic reports a binary stream that is not a trace.
+var ErrBadMagic = errors.New("trace: bad magic (not an MCT1 stream)")
+
+// Writer encodes records to the binary format.
+type Writer struct {
+	w        *bufio.Writer
+	started  bool
+	lastAddr map[int]bus.Addr // per-PE last address, for delta coding
+	count    int
+}
+
+// NewWriter creates a binary trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), lastAddr: make(map[int]bus.Addr)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if !w.started {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := w.w.Write(buf[:n])
+		return err
+	}
+	// Header byte: kind in the low 3 bits, class in the next 2.
+	head := uint64(r.Op.Kind) | uint64(r.Op.Class)<<3
+	if err := put(uint64(r.PE)); err != nil {
+		return err
+	}
+	if err := put(head); err != nil {
+		return err
+	}
+	switch r.Op.Kind {
+	case workload.OpRead, workload.OpWrite, workload.OpTestSet:
+		// Zig-zag delta against the PE's previous address: locality makes
+		// the deltas tiny.
+		delta := int64(r.Op.Addr) - int64(w.lastAddr[r.PE])
+		w.lastAddr[r.PE] = r.Op.Addr
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := w.w.Write(buf[:n]); err != nil {
+			return err
+		}
+		if r.Op.Kind != workload.OpRead {
+			if err := put(uint64(r.Op.Data)); err != nil {
+				return err
+			}
+		}
+	case workload.OpCompute:
+		if err := put(uint64(r.Op.Cycles)); err != nil {
+			return err
+		}
+	case workload.OpHalt:
+		// No payload.
+	default:
+		return fmt.Errorf("trace: unencodable op kind %v", r.Op.Kind)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.count }
+
+// Flush commits buffered output.
+func (w *Writer) Flush() error {
+	if !w.started {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes the binary format.
+type Reader struct {
+	r        *bufio.Reader
+	started  bool
+	lastAddr map[int]bus.Addr
+}
+
+// NewReader creates a binary trace reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r), lastAddr: make(map[int]bus.Addr)}
+}
+
+// Read decodes the next record; io.EOF ends the stream.
+func (r *Reader) Read() (Record, error) {
+	if !r.started {
+		var m [4]byte
+		if _, err := io.ReadFull(r.r, m[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return Record{}, ErrBadMagic
+			}
+			return Record{}, err
+		}
+		if m != magic {
+			return Record{}, ErrBadMagic
+		}
+		r.started = true
+	}
+	pe64, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, err // io.EOF here is the clean end
+	}
+	head, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, unexpected(err)
+	}
+	rec := Record{PE: int(pe64)}
+	rec.Op.Kind = workload.OpKind(head & 7)
+	rec.Op.Class = coherence.Class(head >> 3 & 3)
+	switch rec.Op.Kind {
+	case workload.OpRead, workload.OpWrite, workload.OpTestSet:
+		delta, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return Record{}, unexpected(err)
+		}
+		addr := bus.Addr(int64(r.lastAddr[rec.PE]) + delta)
+		r.lastAddr[rec.PE] = addr
+		rec.Op.Addr = addr
+		if rec.Op.Kind != workload.OpRead {
+			data, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return Record{}, unexpected(err)
+			}
+			rec.Op.Data = bus.Word(data)
+		}
+	case workload.OpCompute:
+		cycles, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Record{}, unexpected(err)
+		}
+		rec.Op.Cycles = int(cycles)
+	case workload.OpHalt:
+	default:
+		return Record{}, fmt.Errorf("trace: undecodable op kind %d", rec.Op.Kind)
+	}
+	return rec, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteText encodes records in the line format:
+//
+//	<pe> read <addr> [class]
+//	<pe> write <addr> <value> [class]
+//	<pe> ts <addr> <value>
+//	<pe> compute <cycles>
+//	<pe> halt
+//
+// Lines starting with '#' and blank lines are comments.
+func WriteText(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		var line string
+		switch r.Op.Kind {
+		case workload.OpRead:
+			line = fmt.Sprintf("%d read %d %s", r.PE, r.Op.Addr, r.Op.Class)
+		case workload.OpWrite:
+			line = fmt.Sprintf("%d write %d %d %s", r.PE, r.Op.Addr, r.Op.Data, r.Op.Class)
+		case workload.OpTestSet:
+			line = fmt.Sprintf("%d ts %d %d", r.PE, r.Op.Addr, r.Op.Data)
+		case workload.OpCompute:
+			line = fmt.Sprintf("%d compute %d", r.PE, r.Op.Cycles)
+		case workload.OpHalt:
+			line = fmt.Sprintf("%d halt", r.PE)
+		default:
+			return fmt.Errorf("trace: unencodable op kind %v", r.Op.Kind)
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseText decodes the line format.
+func ParseText(rd io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(rd)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: line %d: too few fields", lineNo)
+		}
+		pe, err := strconv.Atoi(fields[0])
+		if err != nil || pe < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad PE %q", lineNo, fields[0])
+		}
+		rec := Record{PE: pe}
+		arg := func(i int) (uint64, error) {
+			if i >= len(fields) {
+				return 0, fmt.Errorf("trace: line %d: missing argument", lineNo)
+			}
+			v, err := strconv.ParseUint(fields[i], 10, 32)
+			if err != nil {
+				return 0, fmt.Errorf("trace: line %d: bad number %q", lineNo, fields[i])
+			}
+			return v, nil
+		}
+		classAt := func(i int) coherence.Class {
+			if i >= len(fields) {
+				return coherence.ClassShared
+			}
+			switch fields[i] {
+			case "code":
+				return coherence.ClassCode
+			case "local":
+				return coherence.ClassLocal
+			case "shared":
+				return coherence.ClassShared
+			default:
+				return coherence.ClassUnknown
+			}
+		}
+		switch fields[1] {
+		case "read":
+			a, err := arg(2)
+			if err != nil {
+				return nil, err
+			}
+			rec.Op = workload.Read(bus.Addr(a), classAt(3))
+		case "write":
+			a, err := arg(2)
+			if err != nil {
+				return nil, err
+			}
+			v, err := arg(3)
+			if err != nil {
+				return nil, err
+			}
+			rec.Op = workload.Write(bus.Addr(a), bus.Word(v), classAt(4))
+		case "ts":
+			a, err := arg(2)
+			if err != nil {
+				return nil, err
+			}
+			v, err := arg(3)
+			if err != nil {
+				return nil, err
+			}
+			rec.Op = workload.TestSet(bus.Addr(a), bus.Word(v))
+		case "compute":
+			n, err := arg(2)
+			if err != nil {
+				return nil, err
+			}
+			rec.Op = workload.Compute(int(n))
+		case "halt":
+			rec.Op = workload.Halt()
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[1])
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Split demultiplexes a trace into one replay agent per PE. PEs appearing
+// in the trace but issuing no final halt simply halt when their records
+// run out (workload.Trace semantics).
+func Split(recs []Record) map[int]*workload.Trace {
+	byPE := map[int][]workload.Op{}
+	for _, r := range recs {
+		byPE[r.PE] = append(byPE[r.PE], r.Op)
+	}
+	out := make(map[int]*workload.Trace, len(byPE))
+	for pe, ops := range byPE {
+		out[pe] = workload.NewTrace(ops...)
+	}
+	return out
+}
+
+// Stats summarizes a trace for cmd/tracestat.
+type Stats struct {
+	Records   int
+	PEs       int
+	Reads     int
+	Writes    int
+	TestSets  int
+	Computes  int
+	Halts     int
+	Addresses int // distinct
+	ByClass   map[coherence.Class]int
+}
+
+// Summarize computes Stats over records.
+func Summarize(recs []Record) Stats {
+	s := Stats{ByClass: make(map[coherence.Class]int)}
+	pes := map[int]bool{}
+	addrs := map[bus.Addr]bool{}
+	for _, r := range recs {
+		s.Records++
+		pes[r.PE] = true
+		switch r.Op.Kind {
+		case workload.OpRead:
+			s.Reads++
+			addrs[r.Op.Addr] = true
+			s.ByClass[r.Op.Class]++
+		case workload.OpWrite:
+			s.Writes++
+			addrs[r.Op.Addr] = true
+			s.ByClass[r.Op.Class]++
+		case workload.OpTestSet:
+			s.TestSets++
+			addrs[r.Op.Addr] = true
+			s.ByClass[r.Op.Class]++
+		case workload.OpCompute:
+			s.Computes++
+		case workload.OpHalt:
+			s.Halts++
+		}
+	}
+	s.PEs = len(pes)
+	s.Addresses = len(addrs)
+	return s
+}
+
+// Capture runs an agent standalone for at most n operations, recording
+// the stream (results are fed back as zero; only non-reactive agents
+// produce meaningful captures, which is what trace generation tools use).
+func Capture(pe int, agent workload.Agent, n int) []Record {
+	var out []Record
+	for i := 0; i < n; i++ {
+		op := agent.Next(workload.Result{})
+		out = append(out, Record{PE: pe, Op: op})
+		if op.Kind == workload.OpHalt {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bus"
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{PE: 0, Op: workload.Read(100, coherence.ClassCode)},
+		{PE: 1, Op: workload.Write(200, 42, coherence.ClassLocal)},
+		{PE: 0, Op: workload.Read(101, coherence.ClassCode)},
+		{PE: 2, Op: workload.TestSet(7, 1)},
+		{PE: 1, Op: workload.Compute(50)},
+		{PE: 0, Op: workload.Halt()},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 6 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty stream: %v, %d records", err, len(recs))
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE....")).Read(); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewReader(strings.NewReader("MC")).Read(); err != ErrBadMagic {
+		t.Fatalf("short err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{PE: 0, Op: workload.Write(5, 9, coherence.ClassShared)})
+	w.Flush()
+	full := buf.Bytes()
+	// Chop mid-record (keep the magic plus one byte).
+	_, err := NewReader(bytes.NewReader(full[:5])).ReadAll()
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDeltaCodingIsCompact(t *testing.T) {
+	// Sequential addresses should cost ~3 bytes per record (pe + head +
+	// delta of 1).
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Write(Record{PE: 0, Op: workload.Read(bus.Addr(100000+i), coherence.ClassLocal)})
+	}
+	w.Flush()
+	perRecord := float64(buf.Len()) / 1000
+	if perRecord > 4 {
+		t.Fatalf("%.1f bytes/record, delta coding not effective", perRecord)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseTextCommentsAndErrors(t *testing.T) {
+	good := `
+# a comment
+0 read 5 shared
+
+1 write 6 9 local
+2 halt
+`
+	recs, err := ParseText(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	for _, bad := range []string{
+		"x read 5",       // bad PE
+		"0 frobnicate 5", // unknown op
+		"0 read",         // missing addr
+		"0 write 5",      // missing value
+		"0 read zzz",     // bad number
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTextDefaultClass(t *testing.T) {
+	recs, err := ParseText(strings.NewReader("0 read 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Op.Class != coherence.ClassShared {
+		t.Fatalf("default class = %v, want shared", recs[0].Op.Class)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	agents := Split(sampleRecords())
+	if len(agents) != 3 {
+		t.Fatalf("split into %d agents, want 3", len(agents))
+	}
+	// PE0's agent replays its two reads then halts.
+	a := agents[0]
+	if op := a.Next(workload.Result{}); op.Addr != 100 {
+		t.Fatalf("first op = %+v", op)
+	}
+	if op := a.Next(workload.Result{}); op.Addr != 101 {
+		t.Fatalf("second op = %+v", op)
+	}
+	if op := a.Next(workload.Result{}); op.Kind != workload.OpHalt {
+		t.Fatalf("third op = %+v", op)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRecords())
+	if s.Records != 6 || s.PEs != 3 || s.Reads != 2 || s.Writes != 1 ||
+		s.TestSets != 1 || s.Computes != 1 || s.Halts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Addresses != 4 {
+		t.Fatalf("addresses = %d, want 4", s.Addresses)
+	}
+	if s.ByClass[coherence.ClassCode] != 2 || s.ByClass[coherence.ClassLocal] != 1 {
+		t.Fatalf("by class = %v", s.ByClass)
+	}
+}
+
+func TestCapture(t *testing.T) {
+	recs := Capture(3, workload.NewArrayInit(10, 4), 100)
+	if len(recs) != 5 { // 4 writes + halt
+		t.Fatalf("captured %d records", len(recs))
+	}
+	if recs[4].Op.Kind != workload.OpHalt {
+		t.Fatal("capture did not end with halt")
+	}
+	// Bounded capture stops early.
+	recs = Capture(0, workload.NewHotspot(1, 0), 10)
+	if len(recs) != 10 {
+		t.Fatalf("bounded capture = %d records", len(recs))
+	}
+}
+
+// Property: binary round-trip is identity for arbitrary well-formed
+// records.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(pes []uint8, addrs []uint16, kinds []uint8) bool {
+		n := len(pes)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		var recs []Record
+		for i := 0; i < n; i++ {
+			var op workload.Op
+			switch kinds[i] % 4 {
+			case 0:
+				op = workload.Read(bus.Addr(addrs[i]), coherence.ClassShared)
+			case 1:
+				op = workload.Write(bus.Addr(addrs[i]), bus.Word(addrs[i])+1, coherence.ClassLocal)
+			case 2:
+				op = workload.TestSet(bus.Addr(addrs[i]), 1)
+			case 3:
+				op = workload.Compute(int(addrs[i]))
+			}
+			recs = append(recs, Record{PE: int(pes[i]), Op: op})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+)
+
+func TestBarrierConfigValidation(t *testing.T) {
+	bad := []BarrierConfig{
+		{Participants: 0, Rounds: 1},
+		{Participants: 2, Rounds: 0},
+		{Participants: 2, Rounds: 1, ID: 2},
+		{Participants: 2, Rounds: 1, ID: -1},
+		{Participants: 2, Rounds: 1, WorkCycles: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBarrier(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustBarrier did not panic")
+			}
+		}()
+		MustBarrier(BarrierConfig{})
+	}()
+}
+
+// TestBarrierSoloParticipant: with one participant every arrival is the
+// last, so the agent runs straight through its rounds.
+func TestBarrierSoloParticipant(t *testing.T) {
+	b := MustBarrier(BarrierConfig{
+		Lock: 0, Counter: 1, Sense: 2, Progress: 10,
+		Participants: 1, Rounds: 3,
+	})
+	// Drive it with a perfect single-PE memory emulation.
+	mem := map[bus.Addr]bus.Word{}
+	prev := Result{}
+	for steps := 0; steps < 1000; steps++ {
+		op := b.Next(prev)
+		switch op.Kind {
+		case OpHalt:
+			if b.Rounds() != 3 {
+				t.Fatalf("halted after %d rounds, want 3", b.Rounds())
+			}
+			if b.Err() != nil {
+				t.Fatal(b.Err())
+			}
+			return
+		case OpRead:
+			prev = Result{Value: mem[op.Addr]}
+		case OpWrite:
+			mem[op.Addr] = op.Data
+			prev = Result{Value: op.Data}
+		case OpTestSet:
+			old := mem[op.Addr]
+			if old == 0 {
+				mem[op.Addr] = op.Data
+			}
+			prev = Result{Value: old}
+		case OpCompute:
+			prev = Result{}
+		}
+	}
+	t.Fatal("barrier did not complete")
+}
+
+func TestBarrierTargetSenseAlternates(t *testing.T) {
+	b := MustBarrier(BarrierConfig{Participants: 2, Rounds: 4})
+	if b.targetSense() != 1 {
+		t.Fatalf("round 0 target = %d, want 1", b.targetSense())
+	}
+	b.round = 1
+	if b.targetSense() != 0 {
+		t.Fatalf("round 1 target = %d, want 0", b.targetSense())
+	}
+}
+
+func TestSemaphoreConfigValidation(t *testing.T) {
+	bad := []SemaphoreConfig{
+		{Iterations: 0},
+		{Iterations: 1, HoldCycles: -1},
+		{Iterations: 1, Initialize: true, Capacity: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSemaphore(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustSemaphore did not panic")
+			}
+		}()
+		MustSemaphore(SemaphoreConfig{})
+	}()
+}
+
+// TestSemaphoreSolo: a single client against an ideal memory.
+func TestSemaphoreSolo(t *testing.T) {
+	s := MustSemaphore(SemaphoreConfig{
+		Lock: 0, Count: 1, Iterations: 3,
+		Initialize: true, Capacity: 2, HoldCycles: 2,
+	})
+	mem := map[bus.Addr]bus.Word{}
+	prev := Result{}
+	for steps := 0; steps < 1000; steps++ {
+		op := s.Next(prev)
+		switch op.Kind {
+		case OpHalt:
+			if s.Completed() != 3 {
+				t.Fatalf("completed %d, want 3", s.Completed())
+			}
+			// P and V balance: the count is back at capacity.
+			if mem[1] != 2 {
+				t.Fatalf("final count = %d, want 2", mem[1])
+			}
+			return
+		case OpRead:
+			prev = Result{Value: mem[op.Addr]}
+		case OpWrite:
+			mem[op.Addr] = op.Data
+			prev = Result{Value: op.Data}
+		case OpTestSet:
+			old := mem[op.Addr]
+			if old == 0 {
+				mem[op.Addr] = op.Data
+			}
+			prev = Result{Value: old}
+		case OpCompute:
+			prev = Result{}
+		}
+	}
+	t.Fatal("semaphore did not complete")
+}

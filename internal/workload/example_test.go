@@ -1,0 +1,38 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// ExampleSpinlock shows the TTS decision sequence: test in cache, then
+// escalate to the atomic operation only when the lock looks free.
+func ExampleSpinlock() {
+	s := workload.MustSpinlock(workload.SpinlockConfig{
+		Lock: 100, Strategy: workload.StrategyTTS, Iterations: 1,
+	})
+	op := s.Next(workload.Result{})                // the test
+	fmt.Println(op.Kind, "of the lock word first") // a plain cachable read
+	op = s.Next(workload.Result{Value: 1})         // lock held: spin
+	fmt.Println(op.Kind, "again while held")
+	op = s.Next(workload.Result{Value: 0}) // looks free: escalate
+	fmt.Println(op.Kind, "only now")
+	// Output:
+	// read of the lock word first
+	// read again while held
+	// ts only now
+}
+
+// ExampleApp generates the Table 1-1 reference mix.
+func ExampleApp() {
+	app := workload.MustApp(workload.PDEProfile(), workload.DefaultLayout(), 0, 1, 0)
+	counts := map[string]int{}
+	for i := 0; i < 100000; i++ {
+		op := app.Next(workload.Result{})
+		counts[op.Class.String()]++
+	}
+	fmt.Println("shared refs ~5%:", counts["shared"] > 4000 && counts["shared"] < 6000)
+	// Output:
+	// shared refs ~5%: true
+}
