@@ -1,0 +1,32 @@
+# Makefile — thin entry points over the go tool; `make check` is the CI
+# gate (see scripts/check.sh for the individual stages).
+
+GO ?= go
+
+.PHONY: check build test race lint fuzz modelcheck fmt
+
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/protolint ./...
+
+# fuzz runs the protocol-step fuzzer for a bounded minute; CI runs only
+# the checked-in seeds (via `make test`).
+fuzz:
+	$(GO) test ./internal/coherence -run FuzzProtocolStep -fuzz FuzzProtocolStep -fuzztime 60s
+
+modelcheck:
+	$(GO) run ./cmd/modelcheck -all -n 3
+
+fmt:
+	gofmt -w .

@@ -82,6 +82,8 @@ func printMissCurves(recs []trace.Record) {
 				order = append(order, r.PE)
 			}
 			p.Touch(r.Op.Addr)
+		default:
+			// Computes and halts touch no addresses.
 		}
 	}
 	for _, pe := range order {

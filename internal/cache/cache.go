@@ -246,6 +246,8 @@ func applyDirty(ln *line, d coherence.DirtyEffect) {
 		ln.dirty = true
 	case coherence.DirtyClear:
 		ln.dirty = false
+	case coherence.DirtyKeep:
+		// The transition leaves the dirty bit alone.
 	}
 }
 
@@ -460,8 +462,10 @@ func (c *Cache) plan() (req bus.Request, need bool, resolvedLocally bool) {
 		return bus.Request{Source: c.id, Op: bus.OpWrite, Addr: p.addr, Data: p.data, Unlock: p.unlock}, true, false
 	case coherence.ActInv:
 		return bus.Request{Source: c.id, Op: bus.OpInv, Addr: p.addr, Unlock: p.unlock}, true, false
+	default:
+		// ActNone was handled above as an in-cache completion.
+		panic(fmt.Sprintf("cache %d: unplannable action %v", c.id, out.Action))
 	}
-	panic(fmt.Sprintf("cache %d: unplannable action %v", c.id, out.Action))
 }
 
 func (c *Cache) planRMW(p *pending) (bus.Request, bool, bool) {
@@ -596,8 +600,10 @@ func (c *Cache) BusCompleted(req bus.Request, res bus.Result) Progress {
 		return c.writeCompleted(p)
 	case bus.OpInv:
 		return c.invCompleted(p)
+	default:
+		// OpRMW completions take the rmwCompleted path above.
+		panic(fmt.Sprintf("cache %d: unexpected completed op %v", c.id, req.Op))
 	}
-	panic(fmt.Sprintf("cache %d: unexpected completed op %v", c.id, req.Op))
 }
 
 func (c *Cache) readCompleted(p *pending, res bus.Result) Progress {

@@ -237,6 +237,8 @@ func applySnoop(s *state, j int, out coherence.SnoopOutcome, dataLatest bool) {
 		ln.Dirty = true
 	case coherence.DirtyClear:
 		ln.Dirty = false
+	case coherence.DirtyKeep:
+		// The reaction leaves the dirty bit alone.
 	}
 	if out.TakeData {
 		ln.HasLatest = dataLatest
@@ -444,8 +446,11 @@ func (e *explorer) write(s state, i int) (state, string) {
 			return s, fmt.Sprintf("PE%d read-then-write did not converge", i)
 		}
 		return e.write(s, i)
+	default:
+		// ActRead answers a CPU write only in a broken table; surface it
+		// as a property violation rather than exploring nonsense.
+		return s, fmt.Sprintf("PE%d write produced unknown action %v", i, out.Action)
 	}
-	return s, fmt.Sprintf("PE%d write produced unknown action", i)
 }
 
 // testSet explores a Test-and-Set by PE i with the chosen branch (the

@@ -39,8 +39,9 @@ func (CmStar) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
 		// Local-data write hit: update the copy and write through — still
 		// external communication, hence a "miss" in Table 1-1's counting.
 		return ProcOutcome{Next: Valid, Action: ActWrite, Dirty: DirtyClear}
+	default:
+		panic(fmt.Sprintf("cmstar: OnProc from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("cmstar: OnProc from foreign state %v", s))
 }
 
 // OnSnoop implements Protocol: Cm* caches hold only code and private data,
@@ -51,8 +52,9 @@ func (CmStar) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcom
 		return SnoopOutcome{Next: Invalid}
 	case Valid:
 		return SnoopOutcome{Next: Valid}
+	default:
+		panic(fmt.Sprintf("cmstar: OnSnoop from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("cmstar: OnSnoop from foreign state %v", s))
 }
 
 // RMWFlush implements Protocol: shared data is never cached, so a locked

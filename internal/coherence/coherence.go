@@ -139,8 +139,9 @@ func (c Class) String() string {
 		return "local"
 	case ClassShared:
 		return "shared"
+	default:
+		return "unknown"
 	}
-	return "unknown"
 }
 
 // Action is the bus activity a transition requires.

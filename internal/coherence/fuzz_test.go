@@ -1,0 +1,107 @@
+// Fuzzing lives in the external test package so it can borrow the
+// outcome-sanity rules from internal/lint (which imports coherence):
+// the fuzzer and the static table audit enforce the same invariants,
+// one over random probes, one over exhaustive enumeration.
+package coherence_test
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/lint"
+)
+
+// FuzzProtocolStep drives every protocol hook of a fuzzer-chosen kind
+// with a fuzzer-chosen (state, event, aux, dirty) probe and asserts the
+// two properties the simulator assumes on every step: no table hole
+// panics, and the outcome passes the shared sanity rules. States and
+// events are folded into the protocol's declared domain, so every run
+// lands on a meaningful table row rather than rejecting most inputs.
+func FuzzProtocolStep(f *testing.F) {
+	kinds := coherence.Kinds()
+	// Seed one probe per protocol plus the interesting corners: the RWB
+	// threshold region (aux 1..2), a snooped write against a dirty line,
+	// and saturated aux.
+	for i := range kinds {
+		f.Add(uint8(i), uint8(0), uint8(0), uint8(0), false)
+	}
+	f.Add(uint8(1), uint8(2), uint8(1), uint8(1), false) // rwb near threshold
+	f.Add(uint8(0), uint8(2), uint8(1), uint8(0), true)  // rb Local, dirty, snoop write
+	f.Add(uint8(6), uint8(3), uint8(1), uint8(255), true)
+
+	f.Fuzz(func(t *testing.T, kindSel, stateSel, evSel, aux uint8, dirty bool) {
+		p := coherence.New(kinds[int(kindSel)%len(kinds)])
+		states := p.States()
+		if len(states) == 0 {
+			t.Fatalf("%s declares no states", p.Name())
+		}
+		s := states[int(stateSel)%len(states)]
+		declared := map[coherence.State]bool{}
+		for _, d := range states {
+			declared[d] = true
+		}
+
+		step := func(desc string, fn func()) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: %s panics: %v", p.Name(), desc, r)
+				}
+			}()
+			fn()
+		}
+
+		pe := coherence.ProcEvent(evSel % 2)
+		step("OnProc", func() {
+			out := p.OnProc(s, aux, pe)
+			if !declared[out.Next] {
+				t.Errorf("%s: OnProc(%v, aux=%d, %v) targets undeclared state %v", p.Name(), s, aux, pe, out.Next)
+			}
+			for _, v := range lint.CheckProcOutcome(s, pe, out) {
+				t.Errorf("%s: OnProc(%v, aux=%d, %v): %s", p.Name(), s, aux, pe, v)
+			}
+		})
+
+		se := coherence.SnoopEvent(evSel % 4)
+		step("OnSnoop", func() {
+			out := p.OnSnoop(s, aux, dirty, se)
+			if !declared[out.Next] {
+				t.Errorf("%s: OnSnoop(%v, aux=%d, dirty=%v, %v) targets undeclared state %v", p.Name(), s, aux, dirty, se, out.Next)
+			}
+			for _, v := range lint.CheckSnoopOutcome(s, se, out) {
+				t.Errorf("%s: OnSnoop(%v, aux=%d, dirty=%v, %v): %s", p.Name(), s, aux, dirty, se, v)
+			}
+		})
+
+		step("RMWFlush", func() {
+			flush, next, _ := p.RMWFlush(s, dirty)
+			if !declared[next] {
+				t.Errorf("%s: RMWFlush(%v, dirty=%v) targets undeclared state %v", p.Name(), s, dirty, next)
+			}
+			if !flush && next != s {
+				t.Errorf("%s: RMWFlush(%v, dirty=%v) changes state to %v without flushing", p.Name(), s, dirty, next)
+			}
+		})
+
+		step("RMWSuccess", func() {
+			next, _, bcast := p.RMWSuccess(s, aux)
+			if !declared[next] {
+				t.Errorf("%s: RMWSuccess(%v, aux=%d) targets undeclared state %v", p.Name(), s, aux, next)
+			}
+			if bcast != coherence.ActWrite && bcast != coherence.ActInv {
+				t.Errorf("%s: RMWSuccess(%v, aux=%d) broadcasts %v; the locked write part must be BW or BI", p.Name(), s, aux, bcast)
+			}
+		})
+
+		step("LocalRMW", func() { p.LocalRMW(s) })
+		step("WritebackOnEvict", func() { p.WritebackOnEvict(s, dirty) })
+		c := coherence.Class(evSel % 4)
+		step("Cachable", func() { p.Cachable(c, pe) })
+		if sa, ok := p.(coherence.SharedAware); ok {
+			step("ReadMissTarget", func() {
+				if next := sa.ReadMissTarget(dirty); !declared[next] {
+					t.Errorf("%s: ReadMissTarget(%v) targets undeclared state %v", p.Name(), dirty, next)
+				}
+			})
+		}
+	})
+}

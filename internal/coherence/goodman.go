@@ -48,8 +48,9 @@ func (Goodman) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
 			return ProcOutcome{Next: DirtyState, Action: ActNone}
 		}
 		return ProcOutcome{Next: DirtyState, Action: ActNone, Dirty: DirtySet}
+	default:
+		panic(fmt.Sprintf("goodman: OnProc from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("goodman: OnProc from foreign state %v", s))
 }
 
 // OnSnoop implements Protocol. Note the two deliberate non-reactions that
@@ -89,8 +90,10 @@ func (Goodman) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutco
 		case SnBusWrite:
 			return SnoopOutcome{Next: Invalid, Dirty: DirtyClear}
 		}
+	default:
+		panic(fmt.Sprintf("goodman: OnSnoop from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("goodman: OnSnoop from foreign state %v", s))
+	panic(fmt.Sprintf("goodman: OnSnoop(%v) missed event %v", s, ev))
 }
 
 // RMWFlush implements Protocol: DirtyState is by definition dirty; flushing

@@ -51,8 +51,9 @@ func (Illinois) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
 			return ProcOutcome{Next: DirtyState, Action: ActNone}
 		}
 		return ProcOutcome{Next: DirtyState, Action: ActNone, Dirty: DirtySet}
+	default:
+		panic(fmt.Sprintf("illinois: OnProc from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("illinois: OnProc from foreign state %v", s))
 }
 
 // ReadMissTarget implements SharedAware: a read miss installs Exclusive
@@ -96,8 +97,10 @@ func (Illinois) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutc
 		case SnBusWrite:
 			return SnoopOutcome{Next: Invalid, Dirty: DirtyClear}
 		}
+	default:
+		panic(fmt.Sprintf("illinois: OnSnoop from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("illinois: OnSnoop from foreign state %v", s))
+	panic(fmt.Sprintf("illinois: OnSnoop(%v) missed event %v", s, ev))
 }
 
 // RMWFlush implements Protocol: only Modified lines hold values memory

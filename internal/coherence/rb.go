@@ -55,8 +55,9 @@ func (RB) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
 		// activity is generated)" — the only transition that makes a line
 		// dirty.
 		return ProcOutcome{Next: Local, Action: ActNone, Dirty: DirtySet}
+	default:
+		panic(fmt.Sprintf("rb: OnProc from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("rb: OnProc from foreign state %v", s))
 }
 
 // OnSnoop implements Protocol. It is the bus-request half of Figure 3-1.
@@ -104,8 +105,10 @@ func (RB) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcome {
 		case SnReadData:
 			return SnoopOutcome{Next: Local}
 		}
+	default:
+		panic(fmt.Sprintf("rb: OnSnoop from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("rb: OnSnoop from foreign state %v", s))
+	panic(fmt.Sprintf("rb: OnSnoop(%v) missed event %v", s, ev))
 }
 
 // RMWFlush implements Protocol: a locked read is non-cachable, so only a

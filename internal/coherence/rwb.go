@@ -79,8 +79,9 @@ func (p RWB) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
 			return ProcOutcome{Next: Local, Action: ActNone}
 		}
 		return ProcOutcome{Next: Local, Action: ActNone, Dirty: DirtySet}
+	default:
+		panic(fmt.Sprintf("rwb: OnProc from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("rwb: OnProc from foreign state %v", s))
 }
 
 // OnSnoop implements Protocol. It is the bus-request half of Figure 5-1.
@@ -147,8 +148,10 @@ func (p RWB) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) SnoopOutcome
 		case SnReadData:
 			return SnoopOutcome{Next: Local}
 		}
+	default:
+		panic(fmt.Sprintf("rwb: OnSnoop from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("rwb: OnSnoop from foreign state %v", s))
+	panic(fmt.Sprintf("rwb: OnSnoop(%v) missed event %v", s, ev))
 }
 
 // RMWFlush implements Protocol: as in RB, only a dirty Local owner flushes

@@ -35,8 +35,9 @@ func (WriteThrough) OnProc(s State, aux uint8, e ProcEvent) ProcOutcome {
 		}
 		// Write hit: update the copy and write through.
 		return ProcOutcome{Next: Valid, Action: ActWrite, Dirty: DirtyClear}
+	default:
+		panic(fmt.Sprintf("writethrough: OnProc from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("writethrough: OnProc from foreign state %v", s))
 }
 
 // OnSnoop implements Protocol.
@@ -51,8 +52,10 @@ func (WriteThrough) OnSnoop(s State, aux uint8, dirty bool, ev SnoopEvent) Snoop
 		case SnBusWrite:
 			return SnoopOutcome{Next: Invalid}
 		}
+	default:
+		panic(fmt.Sprintf("writethrough: OnSnoop from foreign state %v", s))
 	}
-	panic(fmt.Sprintf("writethrough: OnSnoop from foreign state %v", s))
+	panic(fmt.Sprintf("writethrough: OnSnoop(%v) missed event %v", s, ev))
 }
 
 // RMWFlush implements Protocol: memory is always current under pure

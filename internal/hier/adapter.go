@@ -141,8 +141,11 @@ func (a *adapter) Ready(r bus.Request) bool {
 		}
 		a.ensurePending(op)
 		return false
+	default:
+		// OpInv carries no data and needs no global counterpart: the
+		// local bus delivers it to every cache in the cluster directly.
+		return true
 	}
-	return true
 }
 
 // ReadWord implements bus.Memory: serve from the cluster cache, or
@@ -230,6 +233,9 @@ func (a *adapter) globalCompleted(req bus.Request, res bus.Result) {
 			a.invalidateDown(req.Addr)
 			a.m.foldWrite(req.Addr, req.Data)
 		}
+	default:
+		// Invalidates never cross to the global bus (see Ready).
+		panic(fmt.Sprintf("hier: cluster %d completed global %v", a.id, req.Op))
 	}
 }
 

@@ -259,6 +259,8 @@ func (m *Machine) Step() error {
 			switch c.BusCompleted(req, res) {
 			case cache.ProgressRetry, cache.ProgressMoreUrgent:
 				cl.local.PrioritySlot(req.Source)
+			case cache.ProgressDone, cache.ProgressMore:
+				// Done delivers below; More re-arbitrates normally.
 			}
 			if v, ok := c.TakeResolved(); ok {
 				cl.procs[req.Source].Deliver(v)

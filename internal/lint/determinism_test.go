@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+func TestDeterminismFixture(t *testing.T) {
+	// The fixture seeds five violations — the math/rand import, a map
+	// range that prints, one that appends without sorting, one that
+	// returns an iteration element, and a time.Now call — while the
+	// collect-then-sort, any-match, commutative-fold, map-fill and
+	// ignore-waived forms stay silent. Diagnostics arrive sorted by
+	// position, i.e. source order.
+	expectDiags(t, runOn(t, "testdata/determinism"), [][2]string{
+		{"determinism", "import of math/rand"},
+		{"determinism", "reaches output through fmt.Println"},
+		{"determinism", `reaches slice "keys" via append without a subsequent sort`},
+		{"determinism", "selects the returned value"},
+		{"determinism", "wall-clock input"},
+	})
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkExhaustive flags every switch over a module-defined enum type that
+// neither covers all of the type's declared constants nor carries an
+// explicit default clause. "Enum type" means a named (or aliased) type
+// whose underlying type is an integer or string and whose defining
+// package declares at least two constants of it — coherence.State,
+// coherence.SnoopEvent, workload.OpKind and friends.
+//
+// Unexported sentinel constants whose names begin with "num" or "max"
+// (numStates, numKinds — array-sizing bounds, not real values) are not
+// required to be covered.
+func checkExhaustive(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := enumType(p.Info.Types[sw.Tag].Type)
+			if named == nil {
+				return true
+			}
+			consts := enumConstants(named)
+			if len(consts) < 2 {
+				return true
+			}
+			missing, analyzable := missingConstants(p, sw, consts)
+			if !analyzable || len(missing) == 0 {
+				return true
+			}
+			names := make([]string, len(missing))
+			for i, c := range missing {
+				names[i] = c.Name()
+			}
+			obj := named.Obj()
+			diags = p.diag(diags, sw.Pos(), "exhaustive",
+				fmt.Sprintf("switch over %s.%s is not exhaustive: missing %s (add the cases or an explicit default)",
+					obj.Pkg().Name(), obj.Name(), strings.Join(names, ", ")))
+			return true
+		})
+	}
+	return diags
+}
+
+// enumType unwraps t to a named type defined inside this module with an
+// integer or string underlying type, or returns nil.
+func enumType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil { // universe types (error)
+		return nil
+	}
+	if !moduleLocal(obj.Pkg().Path()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	if basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	return named
+}
+
+// moduleLocal reports whether an import path belongs to this module (or
+// is a directory-shaped path from a standalone load, which has no dots in
+// its first element the way domain-qualified third-party paths do).
+func moduleLocal(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".") || strings.HasPrefix(path, "./") || strings.HasPrefix(path, "../")
+}
+
+// enumConstants returns the declared constants of the named type in its
+// defining package, sorted by name, excluding "num"/"max" sentinels.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !c.Exported() && (strings.HasPrefix(name, "num") || strings.HasPrefix(name, "max")) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// missingConstants computes which enum constants no case clause covers.
+// Coverage is by constant value, so aliases count. A default clause
+// covers everything. If any case expression is non-constant the switch is
+// reported as unanalyzable and never flagged.
+func missingConstants(p *Package, sw *ast.SwitchStmt, consts []*types.Const) (missing []*types.Const, analyzable bool) {
+	covered := map[string]bool{} // constant.Value.ExactString() -> covered
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil { // default clause
+			return nil, true
+		}
+		for _, expr := range cc.List {
+			tv := p.Info.Types[expr]
+			if tv.Value == nil {
+				return nil, false
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c)
+		}
+	}
+	return missing, true
+}

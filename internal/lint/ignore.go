@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses a finding:
+//
+//	//lint:ignore reason for suppressing
+//
+// placed either on the flagged line itself (trailing comment) or on the
+// line directly above it. A reason is required; a bare "//lint:ignore"
+// suppresses nothing.
+const ignoreDirective = "lint:ignore"
+
+// collectIgnores scans every file's comments for ignore directives and
+// records the suppressed lines.
+func (p *Package) collectIgnores() {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignoreDirective)
+				if !ok || strings.TrimSpace(rest) == "" {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.ignores[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					p.ignores[pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment)
+				// and the next line (comment above the flagged code).
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether a finding anchored at pos is covered by an
+// ignore directive.
+func (p *Package) suppressed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.ignores[position.Filename][position.Line]
+}
+
+// diag builds a Diagnostic anchored at pos unless it is suppressed.
+func (p *Package) diag(diags []Diagnostic, pos token.Pos, analyzer, msg string) []Diagnostic {
+	if p.suppressed(pos) {
+		return diags
+	}
+	return append(diags, Diagnostic{Pos: p.Fset.Position(pos), Analyzer: analyzer, Message: msg})
+}

@@ -1,0 +1,168 @@
+// Package lint is protolint's engine: a static-analysis pass over this
+// module built entirely on the standard library (go/parser, go/ast,
+// go/types, go/importer — no golang.org/x/tools). It complements the
+// dynamic verification layers (internal/check's product-machine
+// exploration, the race detector) with three analyzer families:
+//
+//   - exhaustive: every switch over a module-defined enum type (a named
+//     integer or string type with declared constants, e.g.
+//     coherence.State) must either cover all declared constants or carry
+//     an explicit default clause, so adding a protocol state or event
+//     kind cannot silently fall through.
+//   - determinism: map iteration whose order can reach simulator state,
+//     stats output, or trace emission is flagged, as are time.Now and
+//     math/rand in simulation packages — every BENCH comparison and
+//     Figure 6-x reproduction depends on runs being bit-identical.
+//   - tableaudit: every registered coherence.Protocol is audited for
+//     totality (state x event always has a defined outcome), reachability
+//     (no dead states), and outcome sanity (see tableaudit.go).
+//
+// Findings can be suppressed with a "//lint:ignore reason" comment on the
+// offending line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding. Pos is zero-valued for findings that have no
+// source location (table-audit findings describe a protocol, not a file).
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string // "exhaustive", "determinism" or "tableaudit"
+	Message  string
+}
+
+// String renders the diagnostic in go vet's file:line:col format.
+func (d Diagnostic) String() string {
+	if d.Pos.Filename == "" {
+		return fmt.Sprintf("protolint: %s (%s)", d.Message, d.Analyzer)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Config controls a Run.
+type Config struct {
+	// Dirs are package directories to analyze (see ExpandPatterns).
+	Dirs []string
+	// SkipTables disables the protocol table audit (it is package-level,
+	// not per-directory, so it runs once per Run).
+	SkipTables bool
+}
+
+// Run loads every package in cfg.Dirs, applies the AST analyzers, runs
+// the table audit, and returns all diagnostics sorted by position. The
+// error is non-nil only for load failures (unparsable or untypeable
+// code), not for findings.
+func Run(cfg Config) ([]Diagnostic, error) {
+	l := newLoader()
+	var diags []Diagnostic
+	for _, dir := range cfg.Dirs {
+		pkgs, err := l.load(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		for _, p := range pkgs {
+			diags = append(diags, checkExhaustive(p)...)
+			diags = append(diags, checkDeterminism(p)...)
+		}
+	}
+	if !cfg.SkipTables {
+		for _, a := range AuditAll() {
+			for _, f := range a.Findings {
+				diags = append(diags, Diagnostic{
+					Analyzer: "tableaudit",
+					Message:  fmt.Sprintf("protocol %s: %s: %s", f.Protocol, f.Rule, f.Detail),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// ExpandPatterns resolves command-line package patterns to directories.
+// "./..." (or "dir/...") walks recursively; other arguments name single
+// package directories. Directories named testdata, vendored trees, and
+// dot/underscore-prefixed entries are skipped, mirroring the go tool.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if pat == "..." {
+			root, recursive = ".", true
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("no Go files in %s", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestModuleIsClean runs the full pass — all three analyzer families —
+// over the entire module, enforcing the acceptance criterion that
+// `protolint ./...` exits zero at merge. Fixture packages live under
+// testdata and are skipped by the walk exactly as the go tool would.
+func TestModuleIsClean(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"../../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("expected the module walk to find >=10 package dirs, got %v", dirs)
+	}
+	diags, err := Run(Config{Dirs: dirs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

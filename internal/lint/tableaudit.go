@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/coherence"
+)
+
+// The table audit is the third analyzer family: it loads every protocol
+// registered in coherence.Kinds() and verifies, by exhaustive enumeration
+// of its transition table, the properties the simulator and the
+// Section 4 model checker silently assume:
+//
+//   - totality: every (declared state, event) pair — processor events,
+//     snoop events with both dirty values, RMW hooks — has a defined
+//     outcome (no panic) for every probed aux value;
+//   - closure and reachability: outcomes only target declared states, and
+//     every declared state is reachable from the initial state;
+//   - outcome sanity: the structural rules in CheckProcOutcome and
+//     CheckSnoopOutcome (shared with FuzzProtocolStep in
+//     internal/coherence).
+//
+// auditAuxProbes are the per-line counter values the audit drives each
+// table with; they cover zero, the RWB threshold region, and saturation.
+var auditAuxProbes = []uint8{0, 1, 2, 255}
+
+// AuditFinding is one violated table property.
+type AuditFinding struct {
+	Protocol string
+	Rule     string // "totality", "closure", "reachability", "sanity"
+	Detail   string
+}
+
+// Audit is the result of auditing one protocol's transition table.
+type Audit struct {
+	Protocol    string
+	States      []coherence.State // declared, in presentation order
+	Initial     coherence.State
+	Unreachable []coherence.State
+	Findings    []AuditFinding
+	Probes      int // (state, event, aux, dirty) combinations exercised
+
+	proto coherence.Protocol // audited implementation, for Report
+}
+
+// Clean reports whether the audit found nothing.
+func (a Audit) Clean() bool { return len(a.Findings) == 0 }
+
+// AuditAll audits every registered protocol, in Kinds order.
+func AuditAll() []Audit {
+	kinds := coherence.Kinds()
+	out := make([]Audit, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, AuditProtocol(coherence.New(k)))
+	}
+	return out
+}
+
+// AuditProtocol exhaustively exercises p's transition table.
+func AuditProtocol(p coherence.Protocol) Audit {
+	a := Audit{Protocol: p.Name(), States: p.States(), Initial: initialState(p), proto: p}
+	declared := map[coherence.State]bool{}
+	for _, s := range a.States {
+		declared[s] = true
+	}
+	if len(a.States) == 0 {
+		a.Findings = append(a.Findings, AuditFinding{a.Protocol, "closure", "protocol declares no states"})
+		return a
+	}
+	if !declared[a.Initial] {
+		a.Findings = append(a.Findings, AuditFinding{a.Protocol, "closure",
+			fmt.Sprintf("initial state %v is not declared", a.Initial)})
+	}
+
+	// reach accumulates the successor relation for the reachability pass.
+	reach := map[coherence.State][]coherence.State{}
+	edge := func(from, to coherence.State) {
+		reach[from] = append(reach[from], to)
+	}
+	finding := func(rule, format string, args ...any) {
+		a.Findings = append(a.Findings, AuditFinding{a.Protocol, rule, fmt.Sprintf(format, args...)})
+	}
+	// probe runs fn, converting a table hole (panic) into a totality
+	// finding and reporting whether the outcome is usable.
+	probe := func(desc string, fn func()) bool {
+		a.Probes++
+		err := catchPanic(fn)
+		if err != "" {
+			finding("totality", "%s panics: %s", desc, err)
+			return false
+		}
+		return true
+	}
+
+	for _, s := range a.States {
+		for _, aux := range auditAuxProbes {
+			for _, e := range []coherence.ProcEvent{coherence.EvRead, coherence.EvWrite} {
+				var out coherence.ProcOutcome
+				if !probe(fmt.Sprintf("OnProc(%v, aux=%d, %v)", s, aux, e), func() { out = p.OnProc(s, aux, e) }) {
+					continue
+				}
+				if !declared[out.Next] {
+					finding("closure", "OnProc(%v, aux=%d, %v) targets undeclared state %v", s, aux, e, out.Next)
+				} else {
+					edge(s, out.Next)
+				}
+				for _, v := range CheckProcOutcome(s, e, out) {
+					finding("sanity", "OnProc(%v, aux=%d, %v): %s", s, aux, e, v)
+				}
+			}
+			for _, dirty := range []bool{false, true} {
+				for _, ev := range []coherence.SnoopEvent{coherence.SnBusRead, coherence.SnBusWrite, coherence.SnBusInv, coherence.SnReadData} {
+					var out coherence.SnoopOutcome
+					desc := fmt.Sprintf("OnSnoop(%v, aux=%d, dirty=%v, %v)", s, aux, dirty, ev)
+					if !probe(desc, func() { out = p.OnSnoop(s, aux, dirty, ev) }) {
+						continue
+					}
+					if !declared[out.Next] {
+						finding("closure", "%s targets undeclared state %v", desc, out.Next)
+					} else {
+						edge(s, out.Next)
+					}
+					for _, v := range CheckSnoopOutcome(s, ev, out) {
+						finding("sanity", "%s: %s", desc, v)
+					}
+				}
+			}
+			var next coherence.State
+			var bcast coherence.Action
+			if probe(fmt.Sprintf("RMWSuccess(%v, aux=%d)", s, aux), func() { next, _, bcast = p.RMWSuccess(s, aux) }) {
+				if !declared[next] {
+					finding("closure", "RMWSuccess(%v, aux=%d) targets undeclared state %v", s, aux, next)
+				} else {
+					edge(s, next)
+				}
+				if bcast != coherence.ActWrite && bcast != coherence.ActInv {
+					finding("sanity", "RMWSuccess(%v, aux=%d) broadcasts %v; the locked write part must be BW or BI", s, aux, bcast)
+				}
+			}
+		}
+		for _, dirty := range []bool{false, true} {
+			var flush bool
+			var next coherence.State
+			desc := fmt.Sprintf("RMWFlush(%v, dirty=%v)", s, dirty)
+			if probe(desc, func() { flush, next, _ = p.RMWFlush(s, dirty) }) {
+				if !declared[next] {
+					finding("closure", "%s targets undeclared state %v", desc, next)
+				} else {
+					edge(s, next)
+				}
+				if !flush && next != s {
+					finding("sanity", "%s changes state to %v without flushing", desc, next)
+				}
+			}
+			probe(fmt.Sprintf("WritebackOnEvict(%v, dirty=%v)", s, dirty), func() { p.WritebackOnEvict(s, dirty) })
+		}
+		probe(fmt.Sprintf("LocalRMW(%v)", s), func() { p.LocalRMW(s) })
+	}
+	for _, c := range []coherence.Class{coherence.ClassUnknown, coherence.ClassCode, coherence.ClassLocal, coherence.ClassShared} {
+		for _, e := range []coherence.ProcEvent{coherence.EvRead, coherence.EvWrite} {
+			probe(fmt.Sprintf("Cachable(%v, %v)", c, e), func() { p.Cachable(c, e) })
+		}
+	}
+	// Shared-line-aware protocols add read-miss edges from the bus's
+	// shared-line decision (Illinois installs Exclusive or Shared).
+	if sa, ok := p.(coherence.SharedAware); ok {
+		for _, shared := range []bool{false, true} {
+			var next coherence.State
+			desc := fmt.Sprintf("ReadMissTarget(shared=%v)", shared)
+			if probe(desc, func() { next = sa.ReadMissTarget(shared) }) {
+				if !declared[next] {
+					finding("closure", "%s targets undeclared state %v", desc, next)
+				} else {
+					edge(a.Initial, next)
+				}
+			}
+		}
+	}
+
+	// Reachability: BFS over the accumulated successor relation.
+	seen := map[coherence.State]bool{a.Initial: true}
+	frontier := []coherence.State{a.Initial}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for _, t := range reach[s] {
+			if !seen[t] {
+				seen[t] = true
+				frontier = append(frontier, t)
+			}
+		}
+	}
+	for _, s := range a.States {
+		if !seen[s] {
+			a.Unreachable = append(a.Unreachable, s)
+			finding("reachability", "state %v is unreachable from initial state %v", s, a.Initial)
+		}
+	}
+	return a
+}
+
+// initialState is the state a fresh line starts in: Invalid when the
+// protocol declares it, otherwise the first declared state.
+func initialState(p coherence.Protocol) coherence.State {
+	states := p.States()
+	for _, s := range states {
+		if s == coherence.Invalid {
+			return s
+		}
+	}
+	if len(states) > 0 {
+		return states[0]
+	}
+	return coherence.Invalid
+}
+
+// CheckProcOutcome returns the outcome-sanity rules out violates as a
+// response to processor event e against a line in state s. The rules are
+// shared between the table audit and FuzzProtocolStep:
+//
+//   - the dirty bit is never set on a line entering Invalid or NotPresent
+//     ("no dirty-bit set on Invalid");
+//   - a transition that writes through or fetches (BW, BR, BR+BW) leaves
+//     the line clean — only bus-silent writes (-) and the data-less
+//     invalidate broadcast (BI) may dirty it, so no transition both
+//     broadcasts data and marks memory stale;
+//   - a no-allocate outcome must name a bus action (bypassing the cache
+//     with no bus activity would lose the access entirely);
+//   - the action is one of the five declared Actions.
+func CheckProcOutcome(s coherence.State, e coherence.ProcEvent, out coherence.ProcOutcome) []string {
+	var v []string
+	switch out.Action {
+	case coherence.ActNone, coherence.ActRead, coherence.ActWrite, coherence.ActInv, coherence.ActReadThenWrite:
+	default:
+		v = append(v, fmt.Sprintf("unknown action %v", out.Action))
+	}
+	if out.Dirty == coherence.DirtySet {
+		if out.Next == coherence.Invalid || out.Next == coherence.NotPresent {
+			v = append(v, fmt.Sprintf("sets the dirty bit while entering %v", out.Next))
+		}
+		switch out.Action {
+		case coherence.ActNone, coherence.ActInv:
+		default:
+			v = append(v, fmt.Sprintf("sets the dirty bit on a %v transition (data reached memory, the line is clean)", out.Action))
+		}
+	}
+	if out.NoAllocate && out.Action == coherence.ActNone {
+		v = append(v, "no-allocate outcome with no bus action loses the access")
+	}
+	return v
+}
+
+// CheckSnoopOutcome returns the outcome-sanity rules out violates as a
+// reaction to observed bus event ev against a line in state s:
+//
+//   - Inhibit only answers SnBusRead (there is nothing to interrupt on a
+//     write, an invalidate, or broadcast read data);
+//   - TakeData only on events that carry data (SnBusWrite, SnReadData);
+//   - never Inhibit and TakeData together (a cache cannot both supply
+//     the value and adopt it);
+//   - a snooped transaction never sets the dirty bit — dirtiness records
+//     a local write that bypassed the bus, which an observer by
+//     definition did not perform.
+func CheckSnoopOutcome(s coherence.State, ev coherence.SnoopEvent, out coherence.SnoopOutcome) []string {
+	var v []string
+	if out.Inhibit && ev != coherence.SnBusRead {
+		v = append(v, fmt.Sprintf("inhibits a %v (only bus reads can be interrupted)", ev))
+	}
+	if out.TakeData && ev != coherence.SnBusWrite && ev != coherence.SnReadData {
+		v = append(v, fmt.Sprintf("takes data from a %v, which carries none", ev))
+	}
+	if out.Inhibit && out.TakeData {
+		v = append(v, "both inhibits (supplies the value) and takes data")
+	}
+	if out.Dirty == coherence.DirtySet {
+		v = append(v, "sets the dirty bit from a snooped transaction")
+	}
+	return v
+}
+
+// catchPanic runs fn, returning the panic message ("" if none).
+func catchPanic(fn func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	fn()
+	return ""
+}
+
+// Report renders the audit as a stable, diffable text block — the golden
+// representation asserted by TestTableAuditGolden, so a protocol change
+// that opens a table hole fails CI with a readable diff.
+func (a Audit) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s\n", a.Protocol)
+	letters := make([]string, len(a.States))
+	for i, s := range a.States {
+		letters[i] = s.Letter()
+	}
+	fmt.Fprintf(&b, "states: %s (initial %s)\n", strings.Join(letters, " "), a.Initial.Letter())
+	if p := a.proto; p != nil {
+		for _, s := range a.States {
+			for _, e := range []coherence.ProcEvent{coherence.EvRead, coherence.EvWrite} {
+				if out, err := safeProc(p, s, 0, e); err == "" {
+					extra := ""
+					if out.NoAllocate {
+						extra = " noalloc"
+					}
+					if out.Dirty == coherence.DirtySet {
+						extra += " dirty"
+					}
+					fmt.Fprintf(&b, "  %-2s --%s--> %-2s [%s]%s\n", s.Letter(), e, out.Next.Letter(), out.Action, extra)
+				}
+			}
+		}
+		for _, s := range a.States {
+			for _, ev := range []coherence.SnoopEvent{coherence.SnBusRead, coherence.SnBusWrite, coherence.SnBusInv, coherence.SnReadData} {
+				if out, err := safeSnoop(p, s, 0, false, ev); err == "" {
+					extra := ""
+					if out.Inhibit {
+						extra = " inhibit"
+					}
+					if out.TakeData {
+						extra += " take"
+					}
+					line := fmt.Sprintf("  %-2s ..%s..> %-2s%s", s.Letter(), ev, out.Next.Letter(), extra)
+					b.WriteString(strings.TrimRight(line, " ") + "\n")
+				}
+			}
+		}
+	}
+	if len(a.Unreachable) > 0 {
+		letters := make([]string, len(a.Unreachable))
+		for i, s := range a.Unreachable {
+			letters[i] = s.Letter()
+		}
+		fmt.Fprintf(&b, "unreachable: %s\n", strings.Join(letters, " "))
+	}
+	if a.Clean() {
+		fmt.Fprintf(&b, "findings: none (%d probes)\n", a.Probes)
+	} else {
+		rules := make([]string, 0, len(a.Findings))
+		for _, f := range a.Findings {
+			rules = append(rules, f.Rule+": "+f.Detail)
+		}
+		sort.Strings(rules)
+		fmt.Fprintf(&b, "findings (%d):\n", len(rules))
+		for _, r := range rules {
+			fmt.Fprintf(&b, "  %s\n", r)
+		}
+	}
+	return b.String()
+}
+
+func safeProc(p coherence.Protocol, s coherence.State, aux uint8, e coherence.ProcEvent) (out coherence.ProcOutcome, errMsg string) {
+	errMsg = catchPanic(func() { out = p.OnProc(s, aux, e) })
+	return out, errMsg
+}
+
+func safeSnoop(p coherence.Protocol, s coherence.State, aux uint8, dirty bool, ev coherence.SnoopEvent) (out coherence.SnoopOutcome, errMsg string) {
+	errMsg = catchPanic(func() { out = p.OnSnoop(s, aux, dirty, ev) })
+	return out, errMsg
+}

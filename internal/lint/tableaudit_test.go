@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+)
+
+// update regenerates the golden audit reports:
+//
+//	go test ./internal/lint -run TestTableAuditGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestAuditRegisteredProtocolsClean is the merge gate for satellite 1:
+// every protocol the module registers must audit clean — total tables,
+// no unreachable states, no sanity violations.
+func TestAuditRegisteredProtocolsClean(t *testing.T) {
+	audits := AuditAll()
+	if want := len(coherence.Kinds()); len(audits) != want {
+		t.Fatalf("AuditAll returned %d audits, want %d", len(audits), want)
+	}
+	for _, a := range audits {
+		if a.Probes == 0 {
+			t.Errorf("%s: audit exercised zero probes", a.Protocol)
+		}
+		for _, f := range a.Findings {
+			t.Errorf("%s: %s: %s", f.Protocol, f.Rule, f.Detail)
+		}
+		if len(a.Unreachable) > 0 {
+			t.Errorf("%s: unreachable states %v", a.Protocol, a.Unreachable)
+		}
+	}
+}
+
+// TestTableAuditGolden pins the full audit report — transition tables,
+// reachability, findings — for every registered protocol. A protocol
+// edit that opens a table hole or reroutes a transition fails here with
+// a readable diff; intentional changes re-bless with -update.
+func TestTableAuditGolden(t *testing.T) {
+	for _, a := range AuditAll() {
+		t.Run(a.Protocol, func(t *testing.T) {
+			got := a.Report()
+			path := filepath.Join("testdata", "golden", a.Protocol+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("audit report drifted from %s (re-bless with -update if intended)\ngot:\n%s\nwant:\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// badProto seeds one violation of every audit rule:
+//
+//	totality:     OnProc(Local, CW) has no table entry and panics;
+//	closure:      OnProc(Invalid, CW) targets Valid, which is undeclared;
+//	reachability: FirstWrite is declared but no transition enters it;
+//	sanity:       a write dirties a line entering Invalid over a bus write,
+//	              a snooped invalidate claims to take data, a snooped read
+//	              both inhibits and takes data, and RMWSuccess broadcasts
+//	              a bus read instead of the locked write part.
+type badProto struct{}
+
+func (badProto) Name() string { return "bad" }
+
+func (badProto) States() []coherence.State {
+	return []coherence.State{coherence.Invalid, coherence.Readable, coherence.Local, coherence.FirstWrite}
+}
+
+func (badProto) OnProc(s coherence.State, aux uint8, e coherence.ProcEvent) coherence.ProcOutcome {
+	switch {
+	case s == coherence.Invalid && e == coherence.EvRead:
+		return coherence.ProcOutcome{Next: coherence.Readable, Action: coherence.ActRead}
+	case s == coherence.Invalid && e == coherence.EvWrite:
+		return coherence.ProcOutcome{Next: coherence.Valid, Action: coherence.ActWrite} // closure: Valid undeclared
+	case s == coherence.Readable && e == coherence.EvRead:
+		return coherence.ProcOutcome{Next: coherence.Local}
+	case s == coherence.Readable && e == coherence.EvWrite:
+		return coherence.ProcOutcome{Next: coherence.Invalid, Action: coherence.ActWrite, Dirty: coherence.DirtySet}
+	case s == coherence.Local && e == coherence.EvRead:
+		return coherence.ProcOutcome{Next: coherence.Local}
+	case s == coherence.FirstWrite:
+		return coherence.ProcOutcome{Next: coherence.FirstWrite}
+	}
+	panic("bad: no table entry") // totality: (Local, CW) lands here
+}
+
+func (badProto) OnSnoop(s coherence.State, aux uint8, dirty bool, ev coherence.SnoopEvent) coherence.SnoopOutcome {
+	switch {
+	case s == coherence.Readable && ev == coherence.SnBusInv:
+		return coherence.SnoopOutcome{Next: coherence.Invalid, TakeData: true} // sanity: BI carries no data
+	case s == coherence.Local && ev == coherence.SnBusRead:
+		return coherence.SnoopOutcome{Next: coherence.Local, Inhibit: true, TakeData: true} // sanity: both
+	}
+	return coherence.SnoopOutcome{Next: s}
+}
+
+func (badProto) RMWFlush(s coherence.State, dirty bool) (bool, coherence.State, coherence.DirtyEffect) {
+	return false, s, coherence.DirtyKeep
+}
+
+func (badProto) RMWSuccess(s coherence.State, aux uint8) (coherence.State, uint8, coherence.Action) {
+	return s, 0, coherence.ActRead // sanity: the locked write part must be BW or BI
+}
+
+func (badProto) LocalRMW(coherence.State) bool                      { return false }
+func (badProto) Cachable(coherence.Class, coherence.ProcEvent) bool { return true }
+func (badProto) WritebackOnEvict(coherence.State, bool) bool        { return false }
+
+// TestAuditCatchesSeededViolations proves every audit rule fires: each
+// seeded defect in badProto must surface under its own rule name.
+func TestAuditCatchesSeededViolations(t *testing.T) {
+	a := AuditProtocol(badProto{})
+	if a.Clean() {
+		t.Fatal("audit of badProto reported clean")
+	}
+	has := func(rule, substr string) {
+		t.Helper()
+		for _, f := range a.Findings {
+			if f.Rule == rule && strings.Contains(f.Detail, substr) {
+				return
+			}
+		}
+		t.Errorf("no %s finding containing %q; findings: %v", rule, substr, a.Findings)
+	}
+	has("totality", "OnProc(Local")
+	has("totality", "panics")
+	has("closure", "targets undeclared state Valid")
+	has("reachability", "state FirstWrite is unreachable")
+	has("sanity", "sets the dirty bit while entering Invalid")
+	has("sanity", "sets the dirty bit on a BW transition")
+	has("sanity", "takes data from a BI")
+	has("sanity", "both inhibits (supplies the value) and takes data")
+	has("sanity", "broadcasts BR")
+	if len(a.Unreachable) != 1 || a.Unreachable[0] != coherence.FirstWrite {
+		t.Errorf("Unreachable = %v, want [FirstWrite]", a.Unreachable)
+	}
+	// The report for a dirty audit must carry the findings block so the
+	// defects stay visible even through the golden path.
+	rep := a.Report()
+	if !strings.Contains(rep, "findings (") || !strings.Contains(rep, "unreachable: F") {
+		t.Errorf("Report() lacks findings/unreachable sections:\n%s", rep)
+	}
+}

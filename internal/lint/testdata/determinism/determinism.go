@@ -1,0 +1,95 @@
+// Package determinism is a protolint test fixture: each seeded violation
+// below must be caught by the determinism analyzer, and each clean idiom
+// must pass. The package lives under testdata so the go tool never
+// builds it, but it compiles.
+package determinism
+
+import (
+	"fmt"
+	"math/rand" // want: seeded generator required
+	"sort"
+	"time"
+)
+
+// PrintLoop leaks map order straight to stdout.
+func PrintLoop(m map[string]int) {
+	for k, v := range m { // want: reaches output
+		fmt.Println(k, v)
+	}
+}
+
+// CollectUnsorted leaks map order into a slice that is never sorted.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want: append without sort
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted is the blessed idiom: collect, then sort.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FirstMatch returns whichever matching key iteration happens to visit
+// first: nondeterministic selection.
+func FirstMatch(m map[string]int, want int) string {
+	for k, v := range m { // want: selects the returned value
+		if v == want {
+			return k
+		}
+	}
+	return ""
+}
+
+// AnyNegative is clean: the returned value does not depend on which
+// element satisfied the predicate.
+func AnyNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SumValues is clean: addition commutes.
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert is clean: filling another map is order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Stamp consults the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want: wall-clock input
+}
+
+// Roll uses the unseeded global generator (the import alone is flagged;
+// this keeps it referenced).
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// WaivedClock is time.Now with an ignore directive.
+func WaivedClock() time.Time {
+	//lint:ignore fixture demonstrates suppression
+	return time.Now()
+}

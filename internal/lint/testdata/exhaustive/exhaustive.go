@@ -1,0 +1,87 @@
+// Package exhaustive is a protolint test fixture: each seeded violation
+// below must be caught by the exhaustive-switch analyzer. The package
+// lives under testdata so the go tool never builds it, but it compiles —
+// protolint type-checks fixtures exactly like real code.
+package exhaustive
+
+import "repro/internal/coherence"
+
+// Mood is a local enum: three constants, no sentinel.
+type Mood uint8
+
+const (
+	Happy Mood = iota
+	Sad
+	Angry
+)
+
+// numMoods is a sentinel bound: never required in switches.
+const numMoods = Mood(3)
+
+// MissingStates switches over coherence.State without covering it and
+// without a default: the seeded violation for cross-package enums.
+func MissingStates(s coherence.State) string {
+	switch s { // want: not exhaustive, missing FirstWrite et al.
+	case coherence.Invalid:
+		return "I"
+	case coherence.Readable:
+		return "R"
+	case coherence.Local:
+		return "L"
+	}
+	return "?"
+}
+
+// MissingMood switches over the local enum, missing Angry.
+func MissingMood(m Mood) bool {
+	switch m { // want: not exhaustive, missing Angry
+	case Happy:
+		return true
+	case Sad:
+		return false
+	}
+	return false
+}
+
+// CoveredByDefault is clean: the default makes intent explicit.
+func CoveredByDefault(s coherence.State) bool {
+	switch s {
+	case coherence.Local:
+		return true
+	default:
+		return false
+	}
+}
+
+// CoveredFully is clean: every constant (the sentinel excluded) appears.
+func CoveredFully(m Mood) int {
+	switch m {
+	case Happy:
+		return 2
+	case Sad:
+		return 1
+	case Angry:
+		return 0
+	}
+	return -1
+}
+
+// Waived is non-exhaustive but carries an ignore directive.
+func Waived(m Mood) bool {
+	//lint:ignore fixture demonstrates suppression
+	switch m {
+	case Happy:
+		return true
+	}
+	return false
+}
+
+// NonConstantCase mixes a variable case expression in: the analyzer
+// cannot reason about coverage and must stay silent.
+func NonConstantCase(m, boundary Mood) bool {
+	switch m {
+	case boundary:
+		return true
+	}
+	return false
+}

@@ -236,6 +236,8 @@ func (m *Machine) Step() error {
 		switch c.BusCompleted(g.Req, g.Res) {
 		case cache.ProgressRetry, cache.ProgressMoreUrgent:
 			m.buses.PrioritySlot(g.Req.Addr, g.Req.Source)
+		case cache.ProgressDone, cache.ProgressMore:
+			// Done delivers below; More re-arbitrates normally.
 		}
 		if v, ok := c.TakeResolved(); ok {
 			m.deliver(g.Req.Source, v)

@@ -112,6 +112,8 @@ func (p *Processor) Cache() *cache.Cache { return p.cache }
 // otherwise ret is nil.
 func (p *Processor) CPUPhase() (ret *Retirement) {
 	switch p.status {
+	case StatusReady:
+		// Fall past the switch and issue the next operation.
 	case StatusHalted:
 		return nil
 	case StatusBlocked:
@@ -218,6 +220,10 @@ func (p *Processor) retire(op workload.Op, v bus.Word) *Retirement {
 		p.stats.Writes++
 	case workload.OpTestSet:
 		p.stats.TestSets++
+	default:
+		// Computes and halts complete inside CPUPhase; they never retire
+		// through the memory path.
+		panic(fmt.Sprintf("processor %d: retiring non-memory op %v", p.id, op.Kind))
 	}
 	p.lastResult = workload.Result{Value: v}
 	return &Retirement{PE: p.id, Op: op, Value: v}

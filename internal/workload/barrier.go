@@ -201,6 +201,8 @@ func (b *Barrier) Next(prev Result) Op {
 		b.lastIssuedProgressRead = false
 		b.phase = bStart
 		return b.Next(Result{})
+	case bHalted:
+		return Halt()
 	}
 	return Halt()
 }
@@ -252,7 +254,6 @@ const (
 	sVTSedLock
 	sVReadCount
 	sVWroteIncrement
-	sReleasedV
 	sHalted
 )
 
@@ -377,6 +378,8 @@ func (s *Semaphore) Next(prev Result) Op {
 		s.done++
 		s.phase = sStart
 		return Write(s.cfg.Lock, 0, coherence.ClassShared)
+	case sHalted:
+		return Halt()
 	}
 	return Halt()
 }

@@ -143,6 +143,8 @@ func (s *Spinlock) Next(prev Result) Op {
 		return s.tryAcquire()
 	case spinAfterThink:
 		return s.tryAcquire()
+	case spinHalted:
+		return Halt()
 	}
 	return Halt()
 }
