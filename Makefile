@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race lint fuzz modelcheck fmt
+.PHONY: check build test race lint fuzz modelcheck bench fmt
 
 check:
 	sh scripts/check.sh
@@ -27,6 +27,11 @@ fuzz:
 
 modelcheck:
 	$(GO) run ./cmd/modelcheck -all -n 3
+
+# bench measures the sweep engine (serial vs parallel vs warm cache) and
+# writes BENCH_sweep.json.
+bench:
+	sh scripts/bench.sh
 
 fmt:
 	gofmt -w .

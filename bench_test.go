@@ -6,10 +6,15 @@
 //
 //	go test -bench=. -benchmem
 //
-// regenerates the whole evaluation with numbers attached.
+// regenerates the whole evaluation with numbers attached. The
+// parameter-sweep-shaped artifacts (bus saturation, read/write mix, RWB
+// threshold, hierarchy filtering) run through the internal/sweep engine
+// with multi-seed replication and report engine throughput in jobs/s.
 package repro
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/bus"
@@ -20,8 +25,33 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memory"
 	"repro/internal/stackdist"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// benchSweepEngine drives one registry experiment through the sweep
+// engine with multi-seed replication, a cold in-memory store per
+// iteration (so every job simulates), and GOMAXPROCS workers. The
+// headline metric is engine throughput in jobs per second.
+func benchSweepEngine(b *testing.B, id string, seeds []uint64) {
+	spec, err := sweep.SpecFor(id, seeds, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(sweep.Options{Workers: runtime.GOMAXPROCS(0)})
+		out, err := eng.Run(context.Background(), []sweep.Spec{spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Executed != len(out.Jobs) {
+			b.Fatalf("cold store served %d of %d jobs from cache", out.CacheHits, len(out.Jobs))
+		}
+		jobs += len(out.Jobs)
+	}
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+}
 
 // --- Table 1-1 ---
 
@@ -81,22 +111,7 @@ func BenchmarkFig63TestAndTestAndSetRWB(b *testing.B) { benchFigure6(b, experime
 // --- Section 7: saturation sweep and Figure 7-1 multi-bus ---
 
 func BenchmarkBusSaturationSweep(b *testing.B) {
-	var rows []experiments.SaturationRow
-	for i := 0; i < b.N; i++ {
-		var err error
-		rows, err = experiments.SaturationRows(experiments.Params{})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, r := range rows {
-		if r.Protocol == "rb" && r.Processors == 32 {
-			b.ReportMetric(r.Utilization, "rb32_util")
-		}
-		if r.Protocol == "nocache" && r.Processors == 4 {
-			b.ReportMetric(r.Utilization, "nocache4_util")
-		}
-	}
+	benchSweepEngine(b, "section7-saturation", []uint64{1, 2, 3})
 }
 
 func BenchmarkFig71MultiBus(b *testing.B) {
@@ -154,19 +169,11 @@ func BenchmarkLockContention(b *testing.B) {
 }
 
 func BenchmarkReadWriteMixSweep(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MixRows(experiments.Params{}); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchSweepEngine(b, "ablation-mix", []uint64{1, 2, 3})
 }
 
 func BenchmarkRWBThreshold(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.ThresholdRows(experiments.Params{}); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchSweepEngine(b, "ablation-threshold", []uint64{1, 2, 3})
 }
 
 func BenchmarkFaultRecovery(b *testing.B) {
@@ -293,19 +300,7 @@ func BenchmarkBarrierContention(b *testing.B) {
 }
 
 func BenchmarkHierarchyFiltering(b *testing.B) {
-	var rows []experiments.HierRow
-	for i := 0; i < b.N; i++ {
-		var err error
-		rows, err = experiments.HierRows(experiments.Params{})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, r := range rows {
-		if r.Clusters == 4 {
-			b.ReportMetric(r.FilterRatio, "filter4c")
-		}
-	}
+	benchSweepEngine(b, "extension-hier", []uint64{1, 2, 3})
 }
 
 func BenchmarkPrivateData(b *testing.B) {

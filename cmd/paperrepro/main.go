@@ -1,5 +1,8 @@
 // Command paperrepro regenerates every table and figure of Rudolph &
-// Segall (1984) from the simulator.
+// Segall (1984) from the simulator, scheduled through the S21 sweep
+// engine: artifacts run in parallel on a worker pool, results are
+// memoized when a cache directory is given, and the merged output is
+// byte-identical whatever the worker count.
 //
 // Usage:
 //
@@ -8,27 +11,39 @@
 //	paperrepro -list              # list artifact ids
 //	paperrepro -format markdown   # Markdown output (also: csv, plain)
 //	paperrepro -scale 10 -seed 7  # bigger workloads, different seed
+//	paperrepro -seeds 1,2,3       # seed replicas, aggregated mean±sd
+//	paperrepro -j 8 -cache-dir .sweepcache   # parallel + memoized
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		only   = flag.String("only", "", "run a single experiment by id")
-		format = flag.String("format", "plain", "output format: plain, markdown, csv")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		scale  = flag.Int("scale", 1, "workload scale multiplier (1 = quick, 10 = full)")
-		seed   = flag.Uint64("seed", 1, "deterministic workload seed")
-		charts = flag.Bool("charts", false, "append ASCII bar charts to the sweep experiments")
-		dot    = flag.String("dot", "", "emit a protocol's state diagram as Graphviz DOT (rb or rwb) and exit")
+		only     = flag.String("only", "", "run a single experiment by id")
+		format   = flag.String("format", "plain", "output format: plain, markdown, csv")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.Int("scale", 1, "workload scale multiplier (1 = quick, 10 = full)")
+		seed     = flag.Uint64("seed", 1, "deterministic workload seed")
+		seedList = flag.String("seeds", "", "comma-separated replica seeds (overrides -seed; replicas aggregate into mean ±stddev cells)")
+		jobs     = flag.Int("j", runtime.NumCPU(), "sweep worker pool size")
+		cacheDir = flag.String("cache-dir", "", "memoize artifact results in this sweep store (warm re-runs execute zero simulations)")
+		quiet    = flag.Bool("quiet", false, "suppress the per-artifact timing summary on stderr")
+		charts   = flag.Bool("charts", false, "append ASCII bar charts to the sweep experiments")
+		dot      = flag.String("dot", "", "emit a protocol's state diagram as Graphviz DOT (rb or rwb) and exit")
 	)
 	flag.Parse()
 
@@ -49,7 +64,12 @@ func main() {
 		return
 	}
 
-	params := experiments.Params{Seed: *seed, Scale: *scale}
+	seeds, err := parseSeeds(*seedList, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	run := experiments.All()
 	if *only != "" {
 		e, err := experiments.ByID(*only)
@@ -59,36 +79,79 @@ func main() {
 		}
 		run = []experiments.Experiment{e}
 	}
+	specs := make([]sweep.Spec, 0, len(run))
+	for _, e := range run {
+		specs = append(specs, sweep.Spec{
+			Experiment: e.ID, Version: e.Version, Axes: e.Axes,
+			Seeds: seeds, Scale: *scale,
+		})
+	}
 
-	for i, e := range run {
-		tb, err := e.Run(params)
+	var store sweep.Store
+	if *cacheDir != "" {
+		ds, err := sweep.OpenDirStore(*cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		store = ds
+	}
+
+	eng := sweep.New(sweep.Options{Workers: *jobs, Store: store})
+	out, err := eng.Run(context.Background(), specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for i, tb := range out.Tables {
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Print(tb.Render(*format))
 		if *charts {
-			if spec, ok := chartSpecs[e.ID]; ok {
+			if spec := run[i].Chart; spec != nil {
 				fmt.Println()
-				fmt.Print(report.ChartFromTable(tb, spec.labels, spec.value, 48))
+				fmt.Print(report.ChartFromTable(tb, spec.Labels, spec.Value, 48))
 			}
 		}
 	}
+
+	if !*quiet {
+		printSummary(os.Stderr, out)
+	}
 }
 
-// chartSpecs maps sweep experiments to the (label columns, value column)
-// worth charting.
-var chartSpecs = map[string]struct {
-	labels []int
-	value  int
-}{
-	"section7-saturation": {labels: []int{0, 1}, value: 3}, // utilization
-	"ablation-mix":        {labels: []int{1, 0}, value: 2}, // bus txns/ref
-	"ablation-lock":       {labels: []int{0, 1}, value: 4}, // txns/acquisition
-	"ablation-barrier":    {labels: []int{0}, value: 3},    // txns/round
-	"extension-hier":      {labels: []int{1}, value: 3},    // global txns
-	"table1-1":            {labels: []int{0, 1}, value: 2}, // read miss %
+// parseSeeds resolves the -seeds / -seed flags into the replica list.
+func parseSeeds(list string, single uint64) ([]uint64, error) {
+	if list == "" {
+		return []uint64{single}, nil
+	}
+	var seeds []uint64
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q: %v", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("-seeds given but empty")
+	}
+	return seeds, nil
+}
+
+// printSummary writes the per-artifact timing table to w.
+func printSummary(w *os.File, out *sweep.Outcome) {
+	fmt.Fprintf(w, "\n%-22s %5s %9s %7s %12s\n", "artifact", "jobs", "executed", "cached", "wall")
+	for _, st := range out.Stats {
+		fmt.Fprintf(w, "%-22s %5d %9d %7d %12s\n",
+			st.Experiment, st.Jobs, st.Executed, st.CacheHits, st.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "%-22s %5d %9d %7d %12s\n",
+		"total", len(out.Jobs), out.Executed, out.CacheHits, out.Wall.Round(time.Millisecond))
 }

@@ -1,0 +1,335 @@
+// Command sweep drives the S21 experiment-orchestration engine from the
+// command line: expand (experiment × seed) grids into content-hashed
+// jobs, run them on a worker pool, memoize results in a versioned
+// on-disk store, and merge the output deterministically.
+//
+// Usage:
+//
+//	sweep -list                               # job axes of every experiment
+//	sweep -experiments table1-1,fig7-1 -seeds 1,2,3
+//	sweep -experiments all -j 8 -cache-dir .sweepcache
+//	sweep -events - ...                       # JSONL progress to stderr
+//	sweep -smoke                              # CI gate: parallel==serial, warm==all-cached
+//	sweep -bench -bench-out BENCH_sweep.json  # perf artifact: serial vs parallel vs warm
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment ids with their declared axes and exit")
+		expList  = flag.String("experiments", "all", "comma-separated experiment ids, or \"all\"")
+		seedList = flag.String("seeds", "1", "comma-separated replica seeds; replicas aggregate into mean ±stddev cells")
+		scale    = flag.Int("scale", 1, "workload scale multiplier")
+		workers  = flag.Int("j", runtime.NumCPU(), "worker pool size")
+		cacheDir = flag.String("cache-dir", "", "memoize results in this sweep store directory")
+		format   = flag.String("format", "plain", "output format: plain, markdown, csv")
+		events   = flag.String("events", "", "write JSONL progress events to this file (\"-\" = stderr)")
+		summary  = flag.Bool("summary", true, "print the per-experiment summary to stderr")
+		smoke    = flag.Bool("smoke", false, "bounded self-check: assert parallel==serial bytes and a warm re-run executes zero jobs")
+		bench    = flag.Bool("bench", false, "benchmark the sweep-shaped experiments serial vs parallel vs warm")
+		benchOut = flag.String("bench-out", "BENCH_sweep.json", "where -bench writes its JSON artifact")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			axes := "-"
+			var parts []string
+			if e.Axes.Seed {
+				parts = append(parts, "seed")
+			}
+			if e.Axes.Scale {
+				parts = append(parts, "scale")
+			}
+			if len(parts) > 0 {
+				axes = strings.Join(parts, ",")
+			}
+			fmt.Printf("%-22s v%-2d axes=%-10s %s\n", e.ID, e.Version, axes, e.Title)
+		}
+		return
+	}
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep -smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("sweep smoke ok: parallel output byte-identical to serial; warm re-run executed 0 jobs")
+		return
+	}
+
+	if *bench {
+		if err := runBench(*benchOut, *workers, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep -bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	seeds, err := parseSeeds(*seedList)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := resolveSpecs(*expList, seeds, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var store sweep.Store
+	if *cacheDir != "" {
+		ds, err := sweep.OpenDirStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+	var eventsW io.Writer
+	if *events == "-" {
+		eventsW = os.Stderr
+	} else if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		eventsW = f
+	}
+
+	eng := sweep.New(sweep.Options{Workers: *workers, Store: store, Events: eventsW})
+	out, err := eng.Run(context.Background(), specs)
+	if err != nil {
+		fatal(err)
+	}
+	for i, tb := range out.Tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(tb.Render(*format))
+	}
+	if *summary {
+		fmt.Fprintf(os.Stderr, "\n%-22s %5s %9s %7s %12s\n", "experiment", "jobs", "executed", "cached", "wall")
+		for _, st := range out.Stats {
+			fmt.Fprintf(os.Stderr, "%-22s %5d %9d %7d %12s\n",
+				st.Experiment, st.Jobs, st.Executed, st.CacheHits, st.Wall.Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr, "%-22s %5d %9d %7d %12s\n",
+			"total", len(out.Jobs), out.Executed, out.CacheHits, out.Wall.Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+// parseSeeds parses a comma-separated seed list.
+func parseSeeds(list string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return seeds, nil
+}
+
+// resolveSpecs maps the -experiments flag to sweep specs.
+func resolveSpecs(list string, seeds []uint64, scale int) ([]sweep.Spec, error) {
+	if list == "all" || list == "" {
+		return sweep.AllSpecs(seeds, scale), nil
+	}
+	var specs []sweep.Spec
+	for _, id := range strings.Split(list, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		sp, err := sweep.SpecFor(id, seeds, scale)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return specs, nil
+}
+
+// smokeIDs is the bounded experiment set the CI gate runs: the
+// parameter-free artifacts plus one real multi-seed simulation, all
+// cheap at scale 1.
+var smokeIDs = []string{"fig3-1", "fig5-1", "fig6-1", "fig6-2", "fig6-3", "section7-sbb", "fig7-1"}
+
+// runSmoke executes the smoke sweep three ways — serial, parallel, and
+// warm — and fails unless the parallel merged output and journal are
+// byte-identical to the serial ones and the warm run executes nothing.
+func runSmoke() error {
+	seeds := []uint64{1, 2}
+	var specs []sweep.Spec
+	for _, id := range smokeIDs {
+		sp, err := sweep.SpecFor(id, seeds, 1)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, sp)
+	}
+
+	render := func(out *sweep.Outcome) []byte {
+		var b bytes.Buffer
+		for _, tb := range out.Tables {
+			b.WriteString(tb.Plain())
+			b.WriteByte('\n')
+		}
+		return b.Bytes()
+	}
+
+	serialStore := sweep.NewMemStore()
+	serial, err := sweep.New(sweep.Options{Workers: 1, Store: serialStore}).Run(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	parallelStore := sweep.NewMemStore()
+	parallel, err := sweep.New(sweep.Options{Workers: 4, Store: parallelStore}).Run(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(render(serial), render(parallel)) {
+		return fmt.Errorf("parallel merged output differs from serial")
+	}
+	if !bytes.Equal(serialStore.JournalBytes(), parallelStore.JournalBytes()) {
+		return fmt.Errorf("parallel journal differs from serial")
+	}
+	warm, err := sweep.New(sweep.Options{Workers: 4, Store: parallelStore}).Run(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	if warm.Executed != 0 {
+		return fmt.Errorf("warm re-run executed %d jobs, want 0", warm.Executed)
+	}
+	if !bytes.Equal(render(parallel), render(warm)) {
+		return fmt.Errorf("warm merged output differs from cold")
+	}
+	return nil
+}
+
+// benchIDs are the sweep-shaped experiments the perf artifact tracks.
+var benchIDs = []string{"section7-saturation", "ablation-mix", "ablation-threshold", "extension-hier"}
+
+// benchEntry is one experiment's measurements in BENCH_sweep.json.
+type benchEntry struct {
+	ID               string  `json:"id"`
+	Jobs             int     `json:"jobs"`
+	SerialWallMS     float64 `json:"serial_wall_ms"`
+	ParallelWallMS   float64 `json:"parallel_wall_ms"`
+	Speedup          float64 `json:"speedup"`
+	JobsPerSec       float64 `json:"jobs_per_sec"`
+	WarmWallMS       float64 `json:"warm_wall_ms"`
+	WarmCacheHitRate float64 `json:"warm_cache_hit_rate"`
+}
+
+// benchReport is the BENCH_sweep.json schema.
+type benchReport struct {
+	Schema          string       `json:"schema"`
+	GoMaxProcs      int          `json:"gomaxprocs"`
+	Workers         int          `json:"workers"`
+	Scale           int          `json:"scale"`
+	Seeds           []uint64     `json:"seeds"`
+	Experiments     []benchEntry `json:"experiments"`
+	TotalSerialMS   float64      `json:"total_serial_ms"`
+	TotalParallelMS float64      `json:"total_parallel_ms"`
+	OverallSpeedup  float64      `json:"overall_speedup"`
+}
+
+// runBench measures each sweep-shaped experiment three ways — cold
+// serial, cold parallel, warm parallel — and writes the machine-readable
+// perf artifact.
+func runBench(outPath string, workers, scale int) error {
+	seeds := []uint64{1, 2, 3}
+	rep := benchReport{
+		Schema:     "sweep-bench-v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Scale:      scale,
+		Seeds:      seeds,
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, id := range benchIDs {
+		sp, err := sweep.SpecFor(id, seeds, scale)
+		if err != nil {
+			return err
+		}
+		specs := []sweep.Spec{sp}
+		serial, err := sweep.New(sweep.Options{Workers: 1}).Run(context.Background(), specs)
+		if err != nil {
+			return err
+		}
+		warmStore := sweep.NewMemStore()
+		parallel, err := sweep.New(sweep.Options{Workers: workers, Store: warmStore}).Run(context.Background(), specs)
+		if err != nil {
+			return err
+		}
+		warm, err := sweep.New(sweep.Options{Workers: workers, Store: warmStore}).Run(context.Background(), specs)
+		if err != nil {
+			return err
+		}
+		entry := benchEntry{
+			ID:             id,
+			Jobs:           len(parallel.Jobs),
+			SerialWallMS:   ms(serial.Wall),
+			ParallelWallMS: ms(parallel.Wall),
+			WarmWallMS:     ms(warm.Wall),
+		}
+		if parallel.Wall > 0 {
+			entry.Speedup = float64(serial.Wall) / float64(parallel.Wall)
+			entry.JobsPerSec = float64(entry.Jobs) / parallel.Wall.Seconds()
+		}
+		if len(warm.Jobs) > 0 {
+			entry.WarmCacheHitRate = float64(warm.CacheHits) / float64(len(warm.Jobs))
+		}
+		rep.Experiments = append(rep.Experiments, entry)
+		rep.TotalSerialMS += entry.SerialWallMS
+		rep.TotalParallelMS += entry.ParallelWallMS
+		fmt.Fprintf(os.Stderr, "%-22s jobs=%d serial=%.0fms parallel=%.0fms speedup=%.2fx warm=%.0fms hit=%.0f%%\n",
+			id, entry.Jobs, entry.SerialWallMS, entry.ParallelWallMS, entry.Speedup,
+			entry.WarmWallMS, 100*entry.WarmCacheHitRate)
+	}
+	if rep.TotalParallelMS > 0 {
+		rep.OverallSpeedup = rep.TotalSerialMS / rep.TotalParallelMS
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (overall speedup %.2fx over serial on %d workers)\n",
+		outPath, rep.OverallSpeedup, workers)
+	return nil
+}

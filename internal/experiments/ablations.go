@@ -15,36 +15,48 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "ablation-arrayinit",
-		Title: "Array initialization: bus writes per element (Section 5 claim)",
+		ID:      "ablation-arrayinit",
+		Title:   "Array initialization: bus writes per element (Section 5 claim)",
+		Axes:    Axes{Scale: true}, // the init stream is seed-free
+		Version: 1,
 		Run: func(p Params) (*Table, error) {
 			return ArrayInitAblation(p)
 		},
 	})
 	register(Experiment{
-		ID:    "ablation-lock",
-		Title: "Lock contention: bus transactions per acquisition (Section 6)",
+		ID:      "ablation-lock",
+		Title:   "Lock contention: bus transactions per acquisition (Section 6)",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
+		Chart:   &ChartSpec{Labels: []int{0, 1}, Value: 4}, // txns/acquisition
 		Run: func(p Params) (*Table, error) {
 			return LockAblation(p)
 		},
 	})
 	register(Experiment{
-		ID:    "ablation-mix",
-		Title: "Read/write mix sweep: bus traffic per reference by protocol",
+		ID:      "ablation-mix",
+		Title:   "Read/write mix sweep: bus traffic per reference by protocol",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
+		Chart:   &ChartSpec{Labels: []int{1, 0}, Value: 2}, // bus txns/ref
 		Run: func(p Params) (*Table, error) {
 			return MixSweep(p)
 		},
 	})
 	register(Experiment{
-		ID:    "ablation-threshold",
-		Title: "RWB write-streak threshold k (Section 5, footnote 6)",
+		ID:      "ablation-threshold",
+		Title:   "RWB write-streak threshold k (Section 5, footnote 6)",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
 		Run: func(p Params) (*Table, error) {
 			return ThresholdAblation(p)
 		},
 	})
 	register(Experiment{
-		ID:    "ablation-fault",
-		Title: "Memory fault recovery from replicated cache copies (Section 8)",
+		ID:      "ablation-fault",
+		Title:   "Memory fault recovery from replicated cache copies (Section 8)",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
 		Run: func(p Params) (*Table, error) {
 			return FaultRecovery(p)
 		},
@@ -452,8 +464,10 @@ func FaultRecovery(p Params) (*report.Table, error) {
 
 func init() {
 	register(Experiment{
-		ID:    "ablation-private",
-		Title: "Private-data writes: bus traffic per reference (Section 2, assumption 2)",
+		ID:      "ablation-private",
+		Title:   "Private-data writes: bus traffic per reference (Section 2, assumption 2)",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
 		Run: func(p Params) (*Table, error) {
 			return PrivateAblation(p)
 		},

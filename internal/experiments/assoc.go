@@ -17,8 +17,10 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "ablation-assoc",
-		Title: "Set associativity at fixed capacity (assumption 7)",
+		ID:      "ablation-assoc",
+		Title:   "Set associativity at fixed capacity (assumption 7)",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
 		Run: func(p Params) (*Table, error) {
 			return AssocAblation(p)
 		},

@@ -17,8 +17,11 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "ablation-barrier",
-		Title: "Centralized barrier: bus transactions per round (Section 6 hot spots)",
+		ID:      "ablation-barrier",
+		Title:   "Centralized barrier: bus transactions per round (Section 6 hot spots)",
+		Axes:    Axes{Scale: true}, // staggered arrivals are fixed, not seeded
+		Version: 1,
+		Chart:   &ChartSpec{Labels: []int{0}, Value: 3}, // txns/round
 		Run: func(p Params) (*Table, error) {
 			return BarrierAblation(p)
 		},

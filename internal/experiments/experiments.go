@@ -30,13 +30,43 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// Axes declares which Params fields an experiment's output actually
+// depends on. The sweep engine (internal/sweep) normalizes undeclared
+// axes out of the cache key and collapses replicas along them, so a
+// parameter-free artifact (a transition table, a scripted Figure 6
+// walkthrough) is simulated once no matter how many seeds a sweep asks
+// for.
+type Axes struct {
+	// Seed: the output depends on Params.Seed.
+	Seed bool
+	// Scale: the output depends on Params.Scale.
+	Scale bool
+}
+
+// ChartSpec describes how cmd/paperrepro renders an experiment's table as
+// an ASCII bar chart: which columns label each bar and which column holds
+// the plotted value.
+type ChartSpec struct {
+	Labels []int
+	Value  int
+}
+
 // Experiment is one reproducible artifact.
 type Experiment struct {
 	// ID matches the DESIGN.md experiment index ("table1-1", "fig6-2",
-	// "ablation-arrayinit", ...).
+	// "ablation-arrayinit", ...). It must be stable kebab-case
+	// ([a-z0-9] segments joined by "-"): it keys the sweep cache.
 	ID string
 	// Title is the human caption.
 	Title string
+	// Axes declares the parameter/seed axes the output depends on.
+	Axes Axes
+	// Version is the experiment's cache epoch: bump it whenever the
+	// implementation changes results, so memoized sweep artifacts are
+	// invalidated instead of silently served stale.
+	Version int
+	// Chart, when non-nil, selects the columns worth bar-charting.
+	Chart *ChartSpec
 	// Run executes the experiment.
 	Run func(Params) (*Table, error)
 }
@@ -49,12 +79,45 @@ type Table = tableAlias
 var registry []Experiment
 
 func register(e Experiment) {
+	if !validID(e.ID) {
+		panic(fmt.Sprintf("experiments: id %q is not stable kebab-case", e.ID))
+	}
+	if e.Version < 1 {
+		panic(fmt.Sprintf("experiments: %s must declare Version >= 1 (the sweep cache epoch)", e.ID))
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("experiments: %s has no Run", e.ID))
+	}
 	for _, existing := range registry {
 		if existing.ID == e.ID {
 			panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
 		}
 	}
 	registry = append(registry, e)
+}
+
+// validID enforces the kebab-case contract: lowercase [a-z0-9] segments
+// joined by single dashes, e.g. "table1-1" or "ablation-arrayinit".
+func validID(id string) bool {
+	if id == "" || id[0] == '-' || id[len(id)-1] == '-' {
+		return false
+	}
+	prevDash := false
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevDash = false
+		case c == '-':
+			if prevDash {
+				return false
+			}
+			prevDash = true
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // All returns every experiment in registration (paper) order.

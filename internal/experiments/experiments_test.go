@@ -19,6 +19,15 @@ func TestRegistryComplete(t *testing.T) {
 		if e.Title == "" || e.Run == nil {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
+		if !validID(e.ID) {
+			t.Errorf("experiment ID %q is not kebab-case", e.ID)
+		}
+		if e.Version < 1 {
+			t.Errorf("experiment %q has version %d; the sweep cache key needs >= 1", e.ID, e.Version)
+		}
+		if e.Chart != nil && len(e.Chart.Labels) == 0 {
+			t.Errorf("experiment %q declares a chart with no label columns", e.ID)
+		}
 	}
 	for _, id := range want {
 		if !ids[id] {
@@ -33,6 +42,25 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(IDs()) != len(All()) {
 		t.Error("IDs/All length mismatch")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"fig3-1":       true,
+		"ablation-mix": true,
+		"a":            true,
+		"":             false,
+		"Fig3-1":       false,
+		"fig3--1":      false,
+		"-fig3":        false,
+		"fig3-":        false,
+		"fig 3":        false,
+		"fig_3":        false,
+	} {
+		if got := validID(id); got != want {
+			t.Errorf("validID(%q) = %v, want %v", id, got, want)
+		}
 	}
 }
 

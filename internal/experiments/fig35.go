@@ -13,16 +13,18 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fig3-1",
-		Title: "State Transition Diagram for each Cache Entry for the RB Scheme",
+		ID:      "fig3-1",
+		Title:   "State Transition Diagram for each Cache Entry for the RB Scheme",
+		Version: 1, // parameter-free: the transition relation has no axes
 		Run: func(Params) (*Table, error) {
 			return TransitionTable(coherence.RB{}, "fig3-1",
 				"State Transition Diagram for each Cache Entry for the RB Scheme"), nil
 		},
 	})
 	register(Experiment{
-		ID:    "fig5-1",
-		Title: "State Transition Diagram for each Cache Entry for the RWB Scheme",
+		ID:      "fig5-1",
+		Title:   "State Transition Diagram for each Cache Entry for the RWB Scheme",
+		Version: 1,
 		Run: func(Params) (*Table, error) {
 			return TransitionTable(coherence.NewRWB(2), "fig5-1",
 				"State Transition Diagram for each Cache Entry for the RWB Scheme"), nil

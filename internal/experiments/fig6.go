@@ -14,22 +14,25 @@ const lockS = bus.Addr(64)
 
 func init() {
 	register(Experiment{
-		ID:    "fig6-1",
-		Title: "Synchronization with Test-and-Set for RB Scheme",
+		ID:      "fig6-1",
+		Title:   "Synchronization with Test-and-Set for RB Scheme",
+		Version: 1, // scripted walkthrough: no parameter axes
 		Run: func(Params) (*Table, error) {
 			return figure61(), nil
 		},
 	})
 	register(Experiment{
-		ID:    "fig6-2",
-		Title: "Synchronization with Test-and-Test-and-Set for RB Scheme",
+		ID:      "fig6-2",
+		Title:   "Synchronization with Test-and-Test-and-Set for RB Scheme",
+		Version: 1,
 		Run: func(Params) (*Table, error) {
 			return figure62(), nil
 		},
 	})
 	register(Experiment{
-		ID:    "fig6-3",
-		Title: "Synchronization with Test-and-Test-and-Set for RWB Scheme",
+		ID:      "fig6-3",
+		Title:   "Synchronization with Test-and-Test-and-Set for RWB Scheme",
+		Version: 1,
 		Run: func(Params) (*Table, error) {
 			return figure63(), nil
 		},

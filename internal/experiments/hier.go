@@ -16,8 +16,11 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "extension-hier",
-		Title: "Hierarchical clusters: global-bus traffic filtering (Section 8)",
+		ID:      "extension-hier",
+		Title:   "Hierarchical clusters: global-bus traffic filtering (Section 8)",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
+		Chart:   &ChartSpec{Labels: []int{1}, Value: 3}, // global txns
 		Run: func(p Params) (*Table, error) {
 			return HierSweep(p)
 		},

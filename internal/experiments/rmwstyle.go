@@ -19,8 +19,10 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "ablation-rmwstyle",
-		Title: "Fused vs. two-phase (locked-bus) Test-and-Set (Section 6 prose)",
+		ID:      "ablation-rmwstyle",
+		Title:   "Fused vs. two-phase (locked-bus) Test-and-Set (Section 6 prose)",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
 		Run: func(p Params) (*Table, error) {
 			return RMWStyleAblation(p)
 		},

@@ -17,22 +17,28 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "section7-sbb",
-		Title: "Shared Bus Bandwidth: SBB >= m*x*(1/h)",
+		ID:      "section7-sbb",
+		Title:   "Shared Bus Bandwidth: SBB >= m*x*(1/h)",
+		Version: 1, // analytic model: no parameter axes
 		Run: func(p Params) (*Table, error) {
 			return Section7Bandwidth(p)
 		},
 	})
 	register(Experiment{
-		ID:    "fig7-1",
-		Title: "Multiple Shared Bus Cached Based Parallel Processor",
+		ID:      "fig7-1",
+		Title:   "Multiple Shared Bus Cached Based Parallel Processor",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
 		Run: func(p Params) (*Table, error) {
 			return Figure71(p)
 		},
 	})
 	register(Experiment{
-		ID:    "section7-saturation",
-		Title: "Simulated bus utilization vs. processor count",
+		ID:      "section7-saturation",
+		Title:   "Simulated bus utilization vs. processor count",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
+		Chart:   &ChartSpec{Labels: []int{0, 1}, Value: 3}, // utilization
 		Run: func(p Params) (*Table, error) {
 			return SaturationSweep(p)
 		},

@@ -18,8 +18,11 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "table1-1",
-		Title: "Cm* Emulated Cache Results",
+		ID:      "table1-1",
+		Title:   "Cm* Emulated Cache Results",
+		Axes:    Axes{Seed: true, Scale: true},
+		Version: 1,
+		Chart:   &ChartSpec{Labels: []int{0, 1}, Value: 2}, // read miss %
 		Run: func(p Params) (*Table, error) {
 			return Table11(p)
 		},

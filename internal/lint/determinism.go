@@ -148,9 +148,11 @@ func usesAny(p *Package, expr ast.Expr, objs map[types.Object]bool) bool {
 	return found
 }
 
-// emissionCall recognizes calls that emit bytes in call order: the fmt
-// print family, io.WriteString, and Write/WriteString/WriteByte/WriteRune
-// methods on strings.Builder, bytes.Buffer and bufio.Writer.
+// emissionCall recognizes calls that emit bytes or records in call
+// order: the fmt print family, io.WriteString, the
+// Write/WriteString/WriteByte/WriteRune methods on strings.Builder,
+// bytes.Buffer and bufio.Writer, json.Encoder.Encode (JSONL journals),
+// and report.Table.AddRow/AddRowf (rendered reports).
 func emissionCall(p *Package, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -176,15 +178,24 @@ func emissionCall(p *Package, call *ast.CallExpr) (string, bool) {
 	if fn, ok := obj.(*types.Func); ok {
 		sig, _ := fn.Type().(*types.Signature)
 		if sig != nil && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			recvName := types.TypeString(recv, nil)
 			switch fn.Name() {
 			case "Write", "WriteString", "WriteByte", "WriteRune":
-				recv := sig.Recv().Type()
-				if ptr, ok := recv.(*types.Pointer); ok {
-					recv = ptr.Elem()
-				}
-				switch types.TypeString(recv, nil) {
+				switch recvName {
 				case "strings.Builder", "bytes.Buffer", "bufio.Writer":
-					return types.TypeString(recv, nil) + "." + fn.Name(), true
+					return recvName + "." + fn.Name(), true
+				}
+			case "Encode":
+				if recvName == "encoding/json.Encoder" {
+					return "json.Encoder.Encode", true
+				}
+			case "AddRow", "AddRowf":
+				if recvName == "repro/internal/report.Table" {
+					return "report.Table." + fn.Name(), true
 				}
 			}
 		}

@@ -3,17 +3,20 @@ package lint
 import "testing"
 
 func TestDeterminismFixture(t *testing.T) {
-	// The fixture seeds five violations — the math/rand import, a map
+	// The fixture seeds seven violations — the math/rand import, a map
 	// range that prints, one that appends without sorting, one that
-	// returns an iteration element, and a time.Now call — while the
-	// collect-then-sort, any-match, commutative-fold, map-fill and
-	// ignore-waived forms stay silent. Diagnostics arrive sorted by
-	// position, i.e. source order.
+	// returns an iteration element, a time.Now call, a map range that
+	// journals through json.Encoder, and one that emits report rows —
+	// while the collect-then-sort, any-match, commutative-fold, map-fill,
+	// sorted-journal and ignore-waived forms stay silent. Diagnostics
+	// arrive sorted by position, i.e. source order.
 	expectDiags(t, runOn(t, "testdata/determinism"), [][2]string{
 		{"determinism", "import of math/rand"},
 		{"determinism", "reaches output through fmt.Println"},
 		{"determinism", `reaches slice "keys" via append without a subsequent sort`},
 		{"determinism", "selects the returned value"},
 		{"determinism", "wall-clock input"},
+		{"determinism", "reaches output through json.Encoder.Encode"},
+		{"determinism", "reaches output through report.Table.AddRowf"},
 	})
 }

@@ -5,10 +5,14 @@
 package determinism
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand" // want: seeded generator required
 	"sort"
 	"time"
+
+	"repro/internal/report"
 )
 
 // PrintLoop leaks map order straight to stdout.
@@ -92,4 +96,34 @@ func Roll() int {
 func WaivedClock() time.Time {
 	//lint:ignore fixture demonstrates suppression
 	return time.Now()
+}
+
+// EncodeLoop journals map entries in iteration order: the resulting
+// JSONL stream differs run to run.
+func EncodeLoop(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want: reaches output through json.Encoder.Encode
+		_ = enc.Encode(map[string]int{k: v})
+	}
+}
+
+// EncodeSorted is the blessed journal idiom: sort keys, then encode.
+func EncodeSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc := json.NewEncoder(w)
+	for _, k := range keys {
+		_ = enc.Encode(map[string]int{k: m[k]})
+	}
+}
+
+// RowLoop emits report rows in map order: the rendered table differs
+// run to run.
+func RowLoop(t *report.Table, m map[string]int) {
+	for k, v := range m { // want: reaches output through report.Table.AddRowf
+		t.AddRowf(k, v)
+	}
 }

@@ -62,6 +62,13 @@ func FormatFloat(x float64) string {
 	}
 }
 
+// FormatMeanSD renders an aggregated measurement the way the sweep
+// engine's multi-seed tables do: mean, sample stddev, and the 95%
+// confidence half-width, each through FormatFloat.
+func FormatMeanSD(mean, sd, ci float64) string {
+	return fmt.Sprintf("%s ±%s (ci %s)", FormatFloat(mean), FormatFloat(sd), FormatFloat(ci))
+}
+
 // Plain renders the table as aligned ASCII text.
 func (t *Table) Plain() string {
 	widths := make([]int, len(t.Columns))

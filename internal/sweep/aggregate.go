@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Aggregate merges seed-replica tables of one experiment into a single
+// table. With one replica the table passes through untouched (so a
+// single-seed sweep is byte-identical to a direct experiment run). With
+// several, every cell that parses as a number in all replicas becomes
+// "mean ±stddev (ci ...)" — sample stddev over the seeds, ci the 95%
+// confidence half-width 1.96·sd/√n — while cells whose text is identical
+// across replicas (labels, protocol names) pass through. Differing
+// non-numeric cells keep the first replica's value; the note records the
+// aggregation either way.
+func Aggregate(tables []*report.Table) (*report.Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("no replicas")
+	}
+	first := tables[0]
+	if len(tables) == 1 {
+		return first, nil
+	}
+	for i, t := range tables[1:] {
+		if err := sameShape(first, t); err != nil {
+			return nil, fmt.Errorf("replica %d: %w", i+1, err)
+		}
+	}
+	n := len(tables)
+	out := &report.Table{
+		ID:      first.ID,
+		Title:   first.Title,
+		Columns: append([]string(nil), first.Columns...),
+	}
+	note := fmt.Sprintf("aggregated over %d seeds: numeric cells are mean ±stddev (ci = 1.96·sd/√n)", n)
+	if first.Note != "" {
+		note = first.Note + " | " + note
+	}
+	out.Note = note
+	for r := range first.Rows {
+		row := make([]string, len(first.Columns))
+		for c := range first.Columns {
+			row[c] = aggregateCell(tables, r, c)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// sameShape checks that two replica tables can be merged cell-wise.
+func sameShape(a, b *report.Table) error {
+	if a.ID != b.ID {
+		return fmt.Errorf("table ID %q != %q", b.ID, a.ID)
+	}
+	if len(a.Columns) != len(b.Columns) {
+		return fmt.Errorf("column count %d != %d", len(b.Columns), len(a.Columns))
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row count %d != %d", len(b.Rows), len(a.Rows))
+	}
+	return nil
+}
+
+// aggregateCell merges one (row, column) position across replicas.
+func aggregateCell(tables []*report.Table, r, c int) string {
+	firstCell := tables[0].Rows[r][c]
+	var w stats.Welford
+	numeric, identical := true, true
+	for _, t := range tables {
+		cell := t.Rows[r][c]
+		if cell != firstCell {
+			identical = false
+		}
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			numeric = false
+			continue
+		}
+		w.Observe(v)
+	}
+	if identical || !numeric {
+		return firstCell
+	}
+	sd := w.StdDev()
+	ci := 1.96 * sd / math.Sqrt(float64(w.Count()))
+	return report.FormatMeanSD(w.Mean(), sd, ci)
+}

@@ -1,0 +1,315 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// Runner executes one job and returns its table. The default runner goes
+// through the experiments registry; tests inject counters and fakes.
+type Runner func(spec JobSpec) (*report.Table, error)
+
+// ExperimentRunner is the production Runner: it resolves the job's
+// experiment in the registry and executes it with the job's parameters.
+func ExperimentRunner(spec JobSpec) (*report.Table, error) {
+	e, err := experiments.ByID(spec.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	if e.Version != spec.Version {
+		return nil, fmt.Errorf("sweep: %s is at version %d but the job was expanded at version %d; rebuild the specs",
+			e.ID, e.Version, spec.Version)
+	}
+	return e.Run(spec.Params())
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers sizes the pool; 0 means GOMAXPROCS.
+	Workers int
+	// Store memoizes results; nil means a fresh in-memory store (no
+	// caching across runs).
+	Store Store
+	// Events, when non-nil, receives a live JSONL progress stream (job
+	// start/finish, wall time, cache hit/miss). Event order follows
+	// completion order, not canonical order — it is observability, not
+	// an artifact.
+	Events io.Writer
+	// Runner executes jobs; nil means ExperimentRunner.
+	Runner Runner
+}
+
+// Engine runs sweeps.
+type Engine struct {
+	opts     Options
+	eventsMu sync.Mutex
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Store == nil {
+		opts.Store = NewMemStore()
+	}
+	if opts.Runner == nil {
+		opts.Runner = ExperimentRunner
+	}
+	return &Engine{opts: opts}
+}
+
+// Event is one progress record on the Events stream.
+type Event struct {
+	Event      string  `json:"event"` // "start", "done", "sweep"
+	Job        int     `json:"job,omitempty"`
+	Key        string  `json:"key,omitempty"`
+	Experiment string  `json:"experiment,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Scale      int     `json:"scale,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
+	WallMS     float64 `json:"wall_ms,omitempty"`
+	Jobs       int     `json:"jobs,omitempty"`
+	Executed   int     `json:"executed,omitempty"`
+	CacheHits  int     `json:"cache_hits,omitempty"`
+}
+
+// JobResult pairs a job with its table.
+type JobResult struct {
+	Job    Job
+	Table  *report.Table
+	Cached bool
+	Wall   time.Duration
+}
+
+// ExperimentStat aggregates the jobs of one input spec.
+type ExperimentStat struct {
+	Experiment string
+	Jobs       int
+	Executed   int
+	CacheHits  int
+	// Wall is the summed per-job wall time (CPU-ish cost, not latency).
+	Wall time.Duration
+}
+
+// Outcome is a completed sweep.
+type Outcome struct {
+	// Jobs holds every job result in canonical order.
+	Jobs []JobResult
+	// Tables holds one table per input Spec, in spec order, with seed
+	// replicas aggregated into mean ±stddev (ci95) cells.
+	Tables []*report.Table
+	// Executed counts jobs that ran a simulation; CacheHits counts jobs
+	// served from the store.
+	Executed  int
+	CacheHits int
+	// Wall is the sweep's end-to-end latency.
+	Wall time.Duration
+	// Stats breaks the sweep down per input spec, in spec order.
+	Stats []ExperimentStat
+}
+
+// wallNow reads the wall clock for progress timing only; no simulation
+// result ever depends on it.
+func wallNow() time.Time {
+	//lint:ignore observability-only wall time; results never depend on it
+	return time.Now()
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.opts.Events == nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	e.eventsMu.Lock()
+	e.opts.Events.Write(append(data, '\n'))
+	e.eventsMu.Unlock()
+}
+
+// Run expands specs into jobs, executes them on the worker pool, and
+// merges the results in canonical order.
+//
+// Memoization: a job whose key is in the store is a cache hit and runs no
+// simulation. Checkpointing: as the completion frontier advances, jobs
+// are journaled in canonical order, so an interrupted sweep resumes by
+// re-running only jobs that never made it into the store. Cancelling ctx
+// stops dispatch; jobs already running complete (and are journaled)
+// before Run returns ctx's error.
+func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
+	jobs := Expand(specs)
+	start := wallNow()
+	journaled, err := e.opts.Store.JournalKeys()
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]JobResult, len(jobs))
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, len(jobs))
+		frontier int
+		firstErr error
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := range jobs {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				// The producer's select can hand out one more index after
+				// cancellation; re-check here so no job starts post-cancel.
+				if ctx.Err() != nil {
+					continue
+				}
+				res, err := e.runJob(jobs[i])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sweep: job %d (%s seed=%d scale=%d): %w",
+							i, jobs[i].Spec.Experiment, jobs[i].Spec.Seed, jobs[i].Spec.Scale, err)
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				results[i] = res
+				done[i] = true
+				// Advance the journal frontier: lines land in canonical
+				// order no matter which worker finished when.
+				for frontier < len(jobs) && done[frontier] {
+					j := jobs[frontier]
+					if !journaled[j.Key] {
+						line := JournalLine{
+							Key:        j.Key,
+							Experiment: j.Spec.Experiment,
+							Seed:       j.Spec.Seed,
+							Scale:      j.Spec.Scale,
+							Cached:     results[frontier].Cached,
+						}
+						if jerr := e.opts.Store.AppendJournal(line); jerr != nil && firstErr == nil {
+							firstErr = jerr
+							cancel()
+						}
+						journaled[j.Key] = true
+					}
+					frontier++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Jobs: results, Wall: wallNow().Sub(start)}
+	for _, r := range results {
+		if r.Cached {
+			out.CacheHits++
+		} else {
+			out.Executed++
+		}
+	}
+	if err := e.merge(out, specs, results); err != nil {
+		return nil, err
+	}
+	e.emit(Event{Event: "sweep", Jobs: len(jobs), Executed: out.Executed,
+		CacheHits: out.CacheHits, WallMS: float64(out.Wall) / float64(time.Millisecond)})
+	return out, nil
+}
+
+// runJob serves one job from the store or executes it and memoizes the
+// result.
+func (e *Engine) runJob(j Job) (JobResult, error) {
+	e.emit(Event{Event: "start", Job: j.Index, Key: j.Key,
+		Experiment: j.Spec.Experiment, Seed: j.Spec.Seed, Scale: j.Spec.Scale})
+	start := wallNow()
+	res, ok, err := e.opts.Store.Get(j.Key)
+	if err != nil {
+		return JobResult{}, err
+	}
+	var table *report.Table
+	cached := false
+	if ok && res.Table != nil {
+		table = res.Table
+		cached = true
+	} else {
+		table, err = e.opts.Runner(j.Spec)
+		if err != nil {
+			return JobResult{}, err
+		}
+		if table == nil {
+			return JobResult{}, fmt.Errorf("runner returned no table")
+		}
+		if err := e.opts.Store.Put(&Result{Key: j.Key, Spec: j.Spec, Table: table}); err != nil {
+			return JobResult{}, err
+		}
+	}
+	wall := wallNow().Sub(start)
+	e.emit(Event{Event: "done", Job: j.Index, Key: j.Key,
+		Experiment: j.Spec.Experiment, Seed: j.Spec.Seed, Scale: j.Spec.Scale,
+		Cached: cached, WallMS: float64(wall) / float64(time.Millisecond)})
+	return JobResult{Job: j, Table: table, Cached: cached, Wall: wall}, nil
+}
+
+// merge regroups replicas by input spec, aggregates them, and fills the
+// per-spec statistics — all in spec order, so the merged output is
+// independent of scheduling.
+func (e *Engine) merge(out *Outcome, specs []Spec, results []JobResult) error {
+	bySpec := make([][]JobResult, len(specs))
+	for _, r := range results {
+		bySpec[r.Job.SpecIndex] = append(bySpec[r.Job.SpecIndex], r)
+	}
+	for si := range specs {
+		group := bySpec[si]
+		stat := ExperimentStat{Experiment: specs[si].Experiment, Jobs: len(group)}
+		tables := make([]*report.Table, 0, len(group))
+		for _, r := range group {
+			tables = append(tables, r.Table)
+			stat.Wall += r.Wall
+			if r.Cached {
+				stat.CacheHits++
+			} else {
+				stat.Executed++
+			}
+		}
+		merged, err := Aggregate(tables)
+		if err != nil {
+			return fmt.Errorf("sweep: aggregating %s: %w", specs[si].Experiment, err)
+		}
+		out.Tables = append(out.Tables, merged)
+		out.Stats = append(out.Stats, stat)
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/report"
+)
+
+// storeVersion is written to the store's VERSION file. A directory whose
+// version does not match is cleared: its objects were produced by an
+// incompatible layout and must not be served.
+const storeVersion = "sweep-store-v1"
+
+// Result is one memoized job output.
+type Result struct {
+	Key   string        `json:"key"`
+	Spec  JobSpec       `json:"spec"`
+	Table *report.Table `json:"table"`
+}
+
+// JournalLine records one completed job. The engine appends lines in
+// canonical job order (a frontier), so for a given store state the
+// journal bytes are identical whatever the worker count, and a truncated
+// journal marks exactly a prefix of the sweep as done.
+type JournalLine struct {
+	Key        string `json:"key"`
+	Experiment string `json:"experiment"`
+	Seed       uint64 `json:"seed"`
+	Scale      int    `json:"scale"`
+	Cached     bool   `json:"cached"`
+}
+
+// Store memoizes job results and keeps the completion journal. Get and
+// Put may be called concurrently from workers; the engine serializes
+// AppendJournal calls itself (they must land in canonical order).
+type Store interface {
+	// Get returns the memoized result for key, if present.
+	Get(key string) (*Result, bool, error)
+	// Put memoizes a result under res.Key.
+	Put(res *Result) error
+	// JournalKeys returns the keys recorded as done by earlier runs.
+	JournalKeys() (map[string]bool, error)
+	// AppendJournal appends one completion record.
+	AppendJournal(line JournalLine) error
+}
+
+// MemStore is an in-memory Store: the default when no cache directory is
+// configured, and the store the benchmarks use so every iteration is
+// cold.
+type MemStore struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	journal [][]byte
+	done    map[string]bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: map[string][]byte{}, done: map[string]bool{}}
+}
+
+// Get implements Store.
+func (m *MemStore) Get(key string) (*Result, bool, error) {
+	m.mu.Lock()
+	data, ok := m.objects[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false, fmt.Errorf("memstore: corrupt object %s: %w", key, err)
+	}
+	return &res, true, nil
+}
+
+// Put implements Store.
+func (m *MemStore) Put(res *Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.objects[res.Key] = data
+	m.mu.Unlock()
+	return nil
+}
+
+// JournalKeys implements Store.
+func (m *MemStore) JournalKeys() (map[string]bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]bool, len(m.done))
+	for k := range m.done {
+		out[k] = true
+	}
+	return out, nil
+}
+
+// AppendJournal implements Store.
+func (m *MemStore) AppendJournal(line JournalLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.journal = append(m.journal, data)
+	m.done[line.Key] = true
+	m.mu.Unlock()
+	return nil
+}
+
+// JournalBytes renders the journal as it would appear on disk — the
+// determinism tests compare these across worker counts.
+func (m *MemStore) JournalBytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	for _, line := range m.journal {
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// DirStore is the on-disk Store:
+//
+//	<dir>/VERSION          store-layout version stamp
+//	<dir>/objects/<key>.json   one memoized Result per job key
+//	<dir>/journal.jsonl    completion journal, canonical order
+//
+// Objects are written atomically (temp file + rename), so an interrupted
+// sweep leaves only whole objects; the journal is append-only and a torn
+// final line is ignored on load.
+type DirStore struct {
+	dir string
+}
+
+// OpenDirStore opens (or initializes) the store rooted at dir. A store
+// written by an incompatible layout version is cleared.
+func OpenDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, err
+	}
+	vfile := filepath.Join(dir, "VERSION")
+	data, err := os.ReadFile(vfile)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh store.
+	case err != nil:
+		return nil, err
+	case strings.TrimSpace(string(data)) != storeVersion:
+		// Incompatible layout: drop the stale artifacts.
+		if err := os.RemoveAll(filepath.Join(dir, "objects")); err != nil {
+			return nil, err
+		}
+		if err := os.Remove(filepath.Join(dir, "journal.jsonl")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+			return nil, err
+		}
+	default:
+		return &DirStore{dir: dir}, nil
+	}
+	if err := os.WriteFile(vfile, []byte(storeVersion+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DirStore) Dir() string { return d.dir }
+
+func (d *DirStore) objectPath(key string) string {
+	return filepath.Join(d.dir, "objects", key+".json")
+}
+
+// JournalPath returns the journal file location (the resume tests
+// truncate it to simulate an interruption).
+func (d *DirStore) JournalPath() string {
+	return filepath.Join(d.dir, "journal.jsonl")
+}
+
+// Get implements Store.
+func (d *DirStore) Get(key string) (*Result, bool, error) {
+	data, err := os.ReadFile(d.objectPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		// A torn object from a hard kill: treat as a miss and re-run.
+		return nil, false, nil
+	}
+	return &res, true, nil
+}
+
+// Put implements Store.
+func (d *DirStore) Put(res *Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	path := d.objectPath(res.Key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// JournalKeys implements Store. Unparsable lines (a torn append from an
+// interrupted run) are skipped, which is exactly the resume semantics:
+// the job re-runs.
+func (d *DirStore) JournalKeys() (map[string]bool, error) {
+	done := map[string]bool{}
+	data, err := os.ReadFile(d.JournalPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, raw := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		var line JournalLine
+		if err := json.Unmarshal([]byte(raw), &line); err != nil {
+			continue
+		}
+		done[line.Key] = true
+	}
+	return done, nil
+}
+
+// AppendJournal implements Store.
+func (d *DirStore) AppendJournal(line JournalLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(d.JournalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return f.Sync()
+}

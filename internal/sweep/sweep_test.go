@@ -1,0 +1,454 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// fakeSpecs builds a small mixed job set: two seed-replicated
+// experiments and one axis-free one.
+func fakeSpecs(seeds []uint64) []Spec {
+	return []Spec{
+		{Experiment: "fake-a", Version: 1, Axes: experiments.Axes{Seed: true, Scale: true}, Seeds: seeds, Scale: 1},
+		{Experiment: "fake-flat", Version: 1, Seeds: seeds, Scale: 1},
+		{Experiment: "fake-b", Version: 2, Axes: experiments.Axes{Seed: true}, Seeds: seeds, Scale: 1},
+	}
+}
+
+// fakeRunner deterministically derives a table from the job spec, with a
+// seed-dependent numeric column so aggregation has something to do. The
+// busy loop varies per job to scramble parallel completion order.
+func fakeRunner(spec JobSpec) (*report.Table, error) {
+	spin := int(spec.Seed%7) * 1000
+	x := 0
+	for i := 0; i < spin; i++ {
+		x += i
+	}
+	_ = x
+	t := &report.Table{
+		ID:      spec.Experiment,
+		Title:   "fake " + spec.Experiment,
+		Columns: []string{"label", "metric"},
+	}
+	t.AddRowf(spec.Experiment, float64(spec.Seed*10+uint64(spec.Scale)))
+	t.AddRowf("constant", 42.0)
+	return t, nil
+}
+
+// countingRunner wraps a runner with an execution counter.
+func countingRunner(r Runner, n *atomic.Int64) Runner {
+	return func(spec JobSpec) (*report.Table, error) {
+		n.Add(1)
+		return r(spec)
+	}
+}
+
+// renderAll flattens an outcome's merged tables to bytes.
+func renderAll(out *Outcome) []byte {
+	var b bytes.Buffer
+	for _, tb := range out.Tables {
+		b.WriteString(tb.Plain())
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+func TestExpandAxesAndOrder(t *testing.T) {
+	jobs := Expand(fakeSpecs([]uint64{3, 1, 3}))
+	// fake-a: seeds 3,1 (dup dropped); fake-flat: collapsed to seed 1;
+	// fake-b: seeds 3,1.
+	wantSeeds := []uint64{3, 1, 1, 3, 1}
+	wantExp := []string{"fake-a", "fake-a", "fake-flat", "fake-b", "fake-b"}
+	if len(jobs) != len(wantSeeds) {
+		t.Fatalf("got %d jobs, want %d", len(jobs), len(wantSeeds))
+	}
+	keys := map[string]bool{}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Errorf("job %d has index %d", i, j.Index)
+		}
+		if j.Spec.Seed != wantSeeds[i] || j.Spec.Experiment != wantExp[i] {
+			t.Errorf("job %d = %s seed %d, want %s seed %d",
+				i, j.Spec.Experiment, j.Spec.Seed, wantExp[i], wantSeeds[i])
+		}
+		if keys[j.Key] {
+			t.Errorf("duplicate key %s", j.Key)
+		}
+		keys[j.Key] = true
+	}
+	// Keys are content hashes: version changes must change them.
+	a := JobSpec{Experiment: "x", Version: 1, Seed: 1, Scale: 1}
+	b := a
+	b.Version = 2
+	if a.Key() == b.Key() {
+		t.Error("version bump did not invalidate the cache key")
+	}
+}
+
+// TestDeterministicAcrossWorkers is the engine's core contract: the
+// merged report and the journal are byte-identical whether the sweep ran
+// on one worker or many.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	specs := fakeSpecs([]uint64{1, 2, 3, 4, 5})
+	serialStore := NewMemStore()
+	serial, err := New(Options{Workers: 1, Store: serialStore, Runner: fakeRunner}).
+		Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 2; workers <= 8; workers *= 2 {
+		parStore := NewMemStore()
+		par, err := New(Options{Workers: workers, Store: parStore, Runner: fakeRunner}).
+			Run(context.Background(), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(renderAll(serial), renderAll(par)) {
+			t.Errorf("workers=%d: merged report differs from serial", workers)
+		}
+		if !bytes.Equal(serialStore.JournalBytes(), parStore.JournalBytes()) {
+			t.Errorf("workers=%d: journal differs from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, serialStore.JournalBytes(), parStore.JournalBytes())
+		}
+	}
+}
+
+func TestWarmCacheExecutesNothing(t *testing.T) {
+	specs := fakeSpecs([]uint64{1, 2, 3})
+	store := NewMemStore()
+	var n atomic.Int64
+	eng := New(Options{Workers: 4, Store: store, Runner: countingRunner(fakeRunner, &n)})
+	cold, err := eng.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Executed != len(cold.Jobs) || cold.CacheHits != 0 {
+		t.Fatalf("cold run: executed %d cached %d of %d", cold.Executed, cold.CacheHits, len(cold.Jobs))
+	}
+	before := n.Load()
+	warm, err := eng.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Executed != 0 || warm.CacheHits != len(warm.Jobs) {
+		t.Errorf("warm run: executed %d cached %d, want 0/%d", warm.Executed, warm.CacheHits, len(warm.Jobs))
+	}
+	if n.Load() != before {
+		t.Errorf("warm run invoked the runner %d times", n.Load()-before)
+	}
+	if !bytes.Equal(renderAll(cold), renderAll(warm)) {
+		t.Error("warm merged report differs from cold")
+	}
+	// The journal gained nothing on the warm pass.
+	if got := bytes.Count(store.JournalBytes(), []byte("\n")); got != len(cold.Jobs) {
+		t.Errorf("journal has %d lines, want %d", got, len(cold.Jobs))
+	}
+}
+
+// TestKillAndResume interrupts a sweep by cancelling the context after k
+// jobs, then verifies the resumed sweep executes exactly the missing jobs
+// and produces the same bytes as an uninterrupted run.
+func TestKillAndResume(t *testing.T) {
+	specs := fakeSpecs([]uint64{1, 2, 3, 4})
+	total := len(Expand(specs))
+	const k = 4
+	if total <= k {
+		t.Fatalf("want more than %d jobs, got %d", k, total)
+	}
+
+	// Reference: uninterrupted serial run.
+	ref, err := New(Options{Workers: 1, Runner: fakeRunner}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := NewMemStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n atomic.Int64
+	killer := func(spec JobSpec) (*report.Table, error) {
+		tb, err := fakeRunner(spec)
+		if n.Add(1) == k {
+			cancel()
+		}
+		return tb, err
+	}
+	_, err = New(Options{Workers: 1, Store: store, Runner: killer}).Run(ctx, specs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if n.Load() != k {
+		t.Fatalf("interrupted run executed %d jobs, want %d", n.Load(), k)
+	}
+	if got := bytes.Count(store.JournalBytes(), []byte("\n")); got != k {
+		t.Fatalf("interrupted journal has %d lines, want %d", got, k)
+	}
+
+	var resumed atomic.Int64
+	out, err := New(Options{Workers: 2, Store: store, Runner: countingRunner(fakeRunner, &resumed)}).
+		Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(resumed.Load()); got != total-k {
+		t.Errorf("resume executed %d jobs, want %d", got, total-k)
+	}
+	if out.CacheHits != k {
+		t.Errorf("resume cache hits %d, want %d", out.CacheHits, k)
+	}
+	if !bytes.Equal(renderAll(ref), renderAll(out)) {
+		t.Error("resumed merged report differs from uninterrupted run")
+	}
+	if got := bytes.Count(store.JournalBytes(), []byte("\n")); got != total {
+		t.Errorf("final journal has %d lines, want %d", got, total)
+	}
+}
+
+// TestJournalTruncationResume simulates a hard kill against the on-disk
+// store: the journal is truncated to a prefix (including a torn final
+// line) and the un-journaled objects are deleted; the resumed sweep must
+// execute exactly the missing jobs.
+func TestJournalTruncationResume(t *testing.T) {
+	specs := fakeSpecs([]uint64{1, 2, 3, 4})
+	dir := t.TempDir()
+	store, err := OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(Options{Workers: 3, Store: store, Runner: fakeRunner}).
+		Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(full.Jobs)
+
+	data, err := os.ReadFile(store.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != total {
+		t.Fatalf("journal has %d lines, want %d", len(lines), total)
+	}
+	const keep = 3
+	// Keep `keep` whole lines plus a torn fragment of the next — the
+	// shape a killed process leaves behind.
+	truncated := strings.Join(lines[:keep], "\n") + "\n" + lines[keep][:10]
+	if err := os.WriteFile(store.JournalPath(), []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kept, err := store.JournalKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != keep {
+		t.Fatalf("truncated journal yields %d keys, want %d (torn line must be ignored)", len(kept), keep)
+	}
+	for _, j := range full.Jobs {
+		if !kept[j.Job.Key] {
+			if err := os.Remove(dir + "/objects/" + j.Job.Key + ".json"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var n atomic.Int64
+	out, err := New(Options{Workers: 2, Store: store, Runner: countingRunner(fakeRunner, &n)}).
+		Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(n.Load()); got != total-keep {
+		t.Errorf("resume executed %d jobs, want %d", got, total-keep)
+	}
+	if !bytes.Equal(renderAll(full), renderAll(out)) {
+		t.Error("resumed merged report differs from the original run")
+	}
+}
+
+func TestDirStoreRoundTripAndVersioning(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiment: "fake-a", Version: 1, Seed: 7, Scale: 2}
+	tb, _ := fakeRunner(spec)
+	if err := store.Put(&Result{Key: spec.Key(), Spec: spec, Table: tb}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := store.Get(spec.Key())
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if got.Table.Plain() != tb.Plain() {
+		t.Error("round-tripped table differs")
+	}
+	if _, ok, _ := store.Get("no-such-key"); ok {
+		t.Error("phantom object")
+	}
+
+	// An incompatible layout version clears the store.
+	if err := os.WriteFile(dir+"/VERSION", []byte("sweep-store-v0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := store2.Get(spec.Key()); ok {
+		t.Error("object survived a store-version bump")
+	}
+	if v, err := os.ReadFile(dir + "/VERSION"); err != nil || strings.TrimSpace(string(v)) != storeVersion {
+		t.Errorf("VERSION not rewritten: %q %v", v, err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	mk := func(metric string) *report.Table {
+		return &report.Table{
+			ID:      "agg",
+			Columns: []string{"label", "metric"},
+			Rows:    [][]string{{"row", metric}},
+			Note:    "base note",
+		}
+	}
+	// Single replica passes through untouched (pointer identity keeps
+	// byte-identity with a direct run).
+	single := mk("1.5")
+	got, err := Aggregate([]*report.Table{single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != single {
+		t.Error("single replica was not passed through")
+	}
+
+	out, err := Aggregate([]*report.Table{mk("10"), mk("20"), mk("30")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0] != "row" {
+		t.Errorf("label cell rewritten to %q", out.Rows[0][0])
+	}
+	cell := out.Rows[0][1]
+	if !strings.Contains(cell, "20") || !strings.Contains(cell, "±10") || !strings.Contains(cell, "ci") {
+		t.Errorf("aggregated cell %q missing mean/sd/ci", cell)
+	}
+	if !strings.Contains(out.Note, "3 seeds") || !strings.Contains(out.Note, "base note") {
+		t.Errorf("note %q", out.Note)
+	}
+
+	// Identical numeric cells keep their original formatting.
+	out, err = Aggregate([]*report.Table{mk("7.25"), mk("7.25")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][1] != "7.25" {
+		t.Errorf("identical cells reformatted to %q", out.Rows[0][1])
+	}
+
+	// Shape mismatches are errors, not silent misalignment.
+	bad := mk("1")
+	bad.Rows = append(bad.Rows, []string{"extra", "2"})
+	if _, err := Aggregate([]*report.Table{mk("1"), bad}); err == nil {
+		t.Error("row-count mismatch not rejected")
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	var buf bytes.Buffer
+	specs := fakeSpecs([]uint64{1, 2})
+	if _, err := New(Options{Workers: 2, Runner: fakeRunner, Events: &buf}).
+		Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	var starts, dones, sweeps int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		switch {
+		case strings.Contains(line, `"event":"start"`):
+			starts++
+		case strings.Contains(line, `"event":"done"`):
+			dones++
+		case strings.Contains(line, `"event":"sweep"`):
+			sweeps++
+		default:
+			t.Errorf("unrecognized event line %q", line)
+		}
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Errorf("event line is not one JSON object: %q", line)
+		}
+	}
+	total := len(Expand(specs))
+	if starts != total || dones != total || sweeps != 1 {
+		t.Errorf("got %d starts, %d dones, %d sweeps; want %d/%d/1", starts, dones, sweeps, total, total)
+	}
+}
+
+func TestRunnerErrorAborts(t *testing.T) {
+	boom := func(spec JobSpec) (*report.Table, error) {
+		if spec.Seed == 2 {
+			return nil, fmt.Errorf("boom")
+		}
+		return fakeRunner(spec)
+	}
+	_, err := New(Options{Workers: 2, Runner: boom}).
+		Run(context.Background(), fakeSpecs([]uint64{1, 2, 3}))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want job error", err)
+	}
+}
+
+// TestExperimentRunnerIntegration drives cheap registry experiments
+// through the real runner and checks the merged output matches a direct
+// experiment run byte for byte.
+func TestExperimentRunnerIntegration(t *testing.T) {
+	ids := []string{"fig3-1", "fig6-1", "section7-sbb"}
+	var specs []Spec
+	for _, id := range ids {
+		sp, err := SpecFor(id, []uint64{1, 2}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Axes.Seed {
+			t.Fatalf("%s unexpectedly declares a seed axis", id)
+		}
+		specs = append(specs, sp)
+	}
+	out, err := New(Options{Workers: 2}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != len(ids) { // axis-free: one job each despite 2 seeds
+		t.Fatalf("expanded to %d jobs, want %d", len(out.Jobs), len(ids))
+	}
+	for i, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := e.Run(experiments.Params{Seed: 1, Scale: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Tables[i].Plain() != direct.Plain() {
+			t.Errorf("%s: sweep output differs from direct run", id)
+		}
+	}
+
+	// A stale spec version is refused, not silently served.
+	stale := specs[0]
+	stale.Version = 99
+	if _, err := New(Options{Workers: 1}).Run(context.Background(), []Spec{stale}); err == nil {
+		t.Error("stale experiment version accepted")
+	}
+}

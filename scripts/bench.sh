@@ -1,0 +1,15 @@
+#!/bin/sh
+# bench.sh — benchmark the sweep engine and write BENCH_sweep.json.
+#
+# Runs each benchmark experiment three ways — cold serial (workers=1),
+# cold parallel (workers=GOMAXPROCS), warm (parallel again on the same
+# store) — and records per-experiment wall time, jobs/sec, parallel
+# speedup and warm-cache hit rate. The JSON schema is sweep-bench-v1;
+# see cmd/sweep/main.go (runBench) for the writer.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_sweep.json}
+echo "==> go run ./cmd/sweep -bench -bench-out $out"
+go run ./cmd/sweep -bench -bench-out "$out"
+echo "==> wrote $out"

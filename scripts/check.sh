@@ -11,6 +11,9 @@
 #                  determinism, protocol table audit
 #   6. modelcheck  a bounded run of the Section 4 product-machine proof
 #                  over every protocol (n=3 caches keeps it seconds)
+#   7. sweep       a bounded smoke of the orchestration engine: parallel
+#                  output must be byte-identical to serial and a warm
+#                  cache must execute zero jobs
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,5 +39,8 @@ go run ./cmd/protolint ./...
 
 echo "==> modelcheck -all -n 3"
 go run ./cmd/modelcheck -all -n 3
+
+echo "==> sweep -smoke"
+go run ./cmd/sweep -smoke
 
 echo "==> all checks passed"
