@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race lint fuzz modelcheck bench fmt
+.PHONY: check build test race lint fuzz modelcheck bench bench-core fmt
 
 check:
 	sh scripts/check.sh
@@ -31,7 +31,13 @@ modelcheck:
 # bench measures the sweep engine (serial vs parallel vs warm cache) and
 # writes BENCH_sweep.json.
 bench:
-	sh scripts/bench.sh
+	sh scripts/bench.sh sweep
+
+# bench-core measures the simulator's cycle loop (cycles/sec and
+# allocs/cycle across the internal/perf suite) and writes BENCH_core.json
+# with the speedup over the recorded pre-refactor baseline.
+bench-core:
+	sh scripts/bench.sh core
 
 fmt:
 	gofmt -w .

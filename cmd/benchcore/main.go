@@ -1,0 +1,108 @@
+// Command benchcore runs the S22 core performance suite — simulated
+// cycles/sec and allocs/cycle for the representative machines in
+// internal/perf — and writes the BENCH_core.json artifact, including
+// the recorded pre-refactor baseline and the speedup against it.
+//
+// Usage:
+//
+//	benchcore                       # run the full suite, write BENCH_core.json
+//	benchcore -out other.json
+//	benchcore -scenario rb-64pe     # one scenario, print only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/perf"
+)
+
+// report is the BENCH_core.json schema (core-bench-v1).
+type report struct {
+	Schema          string                        `json:"schema"`
+	GoMaxProcs      int                           `json:"gomaxprocs"`
+	BaselineCommit  string                        `json:"baseline_commit"`
+	Baseline        map[string]perf.BaselineEntry `json:"baseline"`
+	Results         []perf.Result                 `json:"results"`
+	SpeedupByName   map[string]float64            `json:"speedup_by_name"`
+	SpeedupRB64     float64                       `json:"speedup_rb_64pe"`
+	MaxAllocsNoOrcl float64                       `json:"max_allocs_per_cycle_oracle_off"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_core.json", "where to write the JSON artifact")
+		scenario   = flag.String("scenario", "", "run a single named scenario and print its result (no artifact)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *scenario != "" {
+		s, err := perf.ScenarioByName(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := perf.Run(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-16s %12.0f cycles/s  %7.3f allocs/cycle  %8.1f bytes/cycle  wall %.0fms\n",
+			r.Name, r.CyclesPerSec, r.AllocsPerCycle, r.BytesPerCycle, r.WallMS)
+		return
+	}
+
+	rep := report{
+		Schema:         "core-bench-v1",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		BaselineCommit: perf.BaselineCommit,
+		Baseline:       perf.Baseline,
+		SpeedupByName:  map[string]float64{},
+	}
+	for _, s := range perf.Scenarios() {
+		r, err := perf.Run(s)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Results = append(rep.Results, r)
+		if b, ok := perf.Baseline[r.Name]; ok && b.CyclesPerSec > 0 {
+			rep.SpeedupByName[r.Name] = r.CyclesPerSec / b.CyclesPerSec
+		}
+		if !r.Oracle && r.AllocsPerCycle > rep.MaxAllocsNoOrcl {
+			rep.MaxAllocsNoOrcl = r.AllocsPerCycle
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %12.0f cycles/s  %7.3f allocs/cycle  speedup %.2fx\n",
+			r.Name, r.CyclesPerSec, r.AllocsPerCycle, rep.SpeedupByName[r.Name])
+	}
+	rep.SpeedupRB64 = rep.SpeedupByName["rb-64pe"]
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (rb-64pe speedup %.2fx over baseline %s)\n",
+		*out, rep.SpeedupRB64, perf.BaselineCommit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcore:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/machine"
+	"repro/internal/profiling"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -45,8 +46,20 @@ func main() {
 		watchdog   = flag.Uint64("watchdog", 1_000_000, "abort if a PE stalls this many cycles (0 = off)")
 		configPath = flag.String("config", "", "load a JSON run spec (overrides the workload/machine flags)")
 		utilWindow = flag.Uint64("utilwindow", 0, "sample bus utilization every N cycles and print the series")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "mimdsim:", err)
+		}
+	}()
 
 	var cfg machine.Config
 	var agents []workload.Agent

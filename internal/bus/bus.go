@@ -23,7 +23,10 @@
 // Section 7 / Figure 7-1.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Addr is a word address. The paper assumes a one-word block size
 // (assumption 7), so there is no separate block/line address.
@@ -262,14 +265,38 @@ func (s *Stats) Add(other *Stats) {
 // Bus is a single shared bus with a round-robin arbiter, driven one cycle
 // at a time via Tick.
 type Bus struct {
-	mem      Memory
+	mem Memory
+	// stallMem and rmwMem cache the optional-extension views of mem,
+	// resolved once at construction instead of per transaction.
+	stallMem StallableMemory
+	rmwMem   RMWMemory
+
 	snoopers []Snooper
 	snoopIDs []int
-	reqs     map[int]Requester
+	// holders caches each snooper's CopyHolder view (nil when the
+	// snooper does not drive the shared line), resolved at Attach so the
+	// per-read snoop dispatch is pure index loads.
+	holders []CopyHolder
+	// reqs is the requester registry, indexed by source id (nil entries
+	// are unattached sources). Ids are the small dense PE/cluster
+	// indices, so a slice replaces the historical map: grant dispatch is
+	// an index load, and registration order cannot influence anything.
+	reqs []Requester
 
-	slots    []int // sources with their request line asserted, FIFO of assertion
-	priority int   // source owed an immediate retry; -1 when none
-	lastWin  int   // last granted source, for round-robin rotation
+	// pres, when non-nil, is the exact holder table (see Presence): snoop
+	// dispatch iterates only the caches recorded as holding a frame for
+	// the transaction's address, instead of offering the (no-op) snoop to
+	// every attached cache. idxByID maps a source id to its index in
+	// snoopers; targets is the per-transaction dispatch scratch.
+	pres    *Presence
+	idxByID []int
+	targets []int
+
+	slots    []int  // sources with their request line asserted
+	slotted  []bool // membership view of slots, indexed by source id
+	stalled  []int  // per-Tick scratch: sources whose grant stalled this cycle
+	priority int    // source owed an immediate retry; -1 when none
+	lastWin  int    // last granted source, for round-robin rotation
 
 	// Bank and Banks identify this bus's address interleave (Figure 7-1).
 	// A standalone bus serves every address: bank 0 of 1.
@@ -301,7 +328,10 @@ func New(mem Memory) *Bus {
 	if mem == nil {
 		panic("bus: nil memory")
 	}
-	return &Bus{mem: mem, reqs: make(map[int]Requester), priority: -1, lastWin: -1, Banks: 1, lockHolder: -1}
+	b := &Bus{mem: mem, priority: -1, lastWin: -1, Banks: 1, lockHolder: -1}
+	b.stallMem, _ = mem.(StallableMemory)
+	b.rmwMem, _ = mem.(RMWMemory)
+	return b
 }
 
 // Locked reports the current lock register (holder -1 when free).
@@ -342,8 +372,64 @@ func (b *Bus) Attach(id int, s Snooper) {
 			panic(fmt.Sprintf("bus: duplicate snooper id %d", id))
 		}
 	}
+	if b.pres != nil && (id < 0 || id >= MaxPresenceIDs) {
+		panic(fmt.Sprintf("bus: snooper id %d out of presence-table range", id))
+	}
 	b.snoopers = append(b.snoopers, s)
 	b.snoopIDs = append(b.snoopIDs, id)
+	ch, _ := s.(CopyHolder)
+	b.holders = append(b.holders, ch)
+	if id >= 0 {
+		for len(b.idxByID) <= id {
+			b.idxByID = append(b.idxByID, -1)
+		}
+		b.idxByID[id] = len(b.snoopers) - 1
+	}
+}
+
+// SetPresence installs the holder table the bus consults to dispatch
+// snoops only to actual frame holders. The caches must share the same
+// table (and keep it exact); every snooper id must be below
+// MaxPresenceIDs. Passing nil restores the full broadcast.
+func (b *Bus) SetPresence(p *Presence) {
+	if p != nil {
+		for _, id := range b.snoopIDs {
+			if id < 0 || id >= MaxPresenceIDs {
+				panic(fmt.Sprintf("bus: snooper id %d out of presence-table range", id))
+			}
+		}
+	}
+	b.pres = p
+}
+
+// gatherTargets fills the dispatch scratch with the indices (into
+// b.snoopers) of the snoopers to offer a transaction on addr from source.
+// With a presence table that is the recorded holders in ascending id
+// order; without one it is every other snooper in attach order. The two
+// orders produce identical simulations — the skipped caches' callbacks
+// are no-ops, and no snoop outcome depends on visit order (at most one
+// owner can inhibit or flush).
+func (b *Bus) gatherTargets(addr Addr, source int) []int {
+	t := b.targets[:0]
+	if b.pres != nil {
+		for m := b.pres.Mask(addr) &^ (1 << uint(source)); m != 0; {
+			id := bits.TrailingZeros64(m)
+			m &^= 1 << uint(id)
+			if id < len(b.idxByID) {
+				if i := b.idxByID[id]; i >= 0 {
+					t = append(t, i)
+				}
+			}
+		}
+	} else {
+		for i, id := range b.snoopIDs {
+			if id != source {
+				t = append(t, i)
+			}
+		}
+	}
+	b.targets = t
+	return t
 }
 
 // AttachRequester registers the device that answers grants for source id.
@@ -351,32 +437,55 @@ func (b *Bus) AttachRequester(id int, r Requester) {
 	if r == nil {
 		panic("bus: nil requester")
 	}
-	if _, dup := b.reqs[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("bus: negative requester id %d", id))
+	}
+	if id >= len(b.reqs) {
+		grown := make([]Requester, id+1)
+		copy(grown, b.reqs)
+		b.reqs = grown
+		flags := make([]bool, id+1)
+		copy(flags, b.slotted)
+		b.slotted = flags
+	}
+	if b.reqs[id] != nil {
 		panic(fmt.Sprintf("bus: duplicate requester id %d", id))
 	}
 	b.reqs[id] = r
 }
 
-// RequestSlot asserts source id's bus-request line. Asserting an already
-// asserted line is a no-op.
-func (b *Bus) RequestSlot(id int) {
-	for _, s := range b.slots {
-		if s == id {
-			return
-		}
+// requester returns the registered requester for id, or nil.
+func (b *Bus) requester(id int) Requester {
+	if id < 0 || id >= len(b.reqs) {
+		return nil
 	}
-	if _, ok := b.reqs[id]; !ok {
+	return b.reqs[id]
+}
+
+// RequestSlot asserts source id's bus-request line. Asserting an already
+// asserted line is a no-op — the slotted bitmap makes the (very common)
+// re-assertion of a still-blocked source O(1) rather than a scan of every
+// asserted line.
+func (b *Bus) RequestSlot(id int) {
+	if id >= 0 && id < len(b.slotted) && b.slotted[id] {
+		return
+	}
+	if b.requester(id) == nil {
 		panic(fmt.Sprintf("bus: slot requested for unattached source %d", id))
 	}
+	b.slotted[id] = true
 	b.slots = append(b.slots, id)
 }
 
 // CancelSlot deasserts source id's request line (and its priority claim).
 func (b *Bus) CancelSlot(id int) {
-	for i, s := range b.slots {
-		if s == id {
-			b.slots = append(b.slots[:i], b.slots[i+1:]...)
-			break
+	if id >= 0 && id < len(b.slotted) && b.slotted[id] {
+		b.slotted[id] = false
+		for i, s := range b.slots {
+			if s == id {
+				b.slots = append(b.slots[:i], b.slots[i+1:]...)
+				break
+			}
 		}
 	}
 	if b.priority == id {
@@ -392,7 +501,7 @@ func (b *Bus) PrioritySlot(id int) {
 	if b.priority != -1 && b.priority != id {
 		panic(fmt.Sprintf("bus: priority slot already held by %d", b.priority))
 	}
-	if _, ok := b.reqs[id]; !ok {
+	if b.requester(id) == nil {
 		panic(fmt.Sprintf("bus: priority slot for unattached source %d", id))
 	}
 	b.priority = id
@@ -403,12 +512,7 @@ func (b *Bus) Slotted(id int) bool {
 	if b.priority == id {
 		return true
 	}
-	for _, s := range b.slots {
-		if s == id {
-			return true
-		}
-	}
-	return false
+	return id >= 0 && id < len(b.slotted) && b.slotted[id]
 }
 
 // PendingLen returns the number of asserted request lines.
@@ -438,13 +542,22 @@ func (b *Bus) Tick() (req Request, res Result, granted bool) {
 		return Request{}, Result{}, false
 	}
 	b.stats.WaitCycles += uint64(b.PendingLen())
-	var stalled []int
-	defer func() {
-		// Stalled sources keep their request lines asserted.
-		for _, s := range stalled {
-			b.RequestSlot(s)
-		}
-	}()
+	req, res, granted = b.arbitrate()
+	// Stalled sources keep their request lines asserted. The scratch
+	// slice is bus-owned and reused so a stall-heavy cycle allocates
+	// nothing in steady state.
+	for _, s := range b.stalled {
+		b.RequestSlot(s)
+	}
+	b.stalled = b.stalled[:0]
+	return req, res, granted
+}
+
+// arbitrate runs the grant loop of one non-held cycle: pick a source,
+// let it supply (or withdraw) its transaction, and execute the first one
+// that is not blocked by the lock register or a not-ready memory port.
+// Blocked sources are parked on b.stalled; Tick re-asserts their lines.
+func (b *Bus) arbitrate() (Request, Result, bool) {
 	for {
 		source, ok := b.pick()
 		if !ok {
@@ -465,15 +578,15 @@ func (b *Bus) Tick() (req Request, res Result, granted bool) {
 			// The word (or the lock register) is held; wait for the
 			// unlock, trying other requesters this cycle.
 			b.stats.Stalled++
-			stalled = append(stalled, source)
+			b.stalled = append(b.stalled, source)
 			continue
 		}
-		if sm, isStallable := b.mem.(StallableMemory); isStallable && r.Op != OpInv && !sm.Ready(r) {
+		if b.stallMem != nil && r.Op != OpInv && !b.stallMem.Ready(r) {
 			// The memory port cannot service this transaction yet (it is
 			// now fetching upstream); nothing executed, try another
 			// requester this cycle.
 			b.stats.Stalled++
-			stalled = append(stalled, source)
+			b.stalled = append(b.stalled, source)
 			continue
 		}
 		b.stats.Grants++
@@ -518,6 +631,7 @@ func (b *Bus) pick() (int, bool) {
 	}
 	s := b.slots[best]
 	b.slots = append(b.slots[:best], b.slots[best+1:]...)
+	b.slotted[s] = false
 	b.lastWin = s
 	return s, true
 }
@@ -564,24 +678,22 @@ func (b *Bus) release(r *Request) {
 }
 
 func (b *Bus) executeRead(r *Request) Result {
+	// No frame set changes while the transaction executes (installs happen
+	// in the requester's BusCompleted, after the Tick), so one target list
+	// serves all three snoop phases.
+	targets := b.gatherTargets(r.Addr, r.Source)
 	// Shared-line sample: taken before any snoop reaction so it reflects
 	// the pre-transaction configuration.
 	shared := false
-	for i, s := range b.snoopers {
-		if b.snoopIDs[i] == r.Source {
-			continue
-		}
-		if ch, ok := s.(CopyHolder); ok && ch.HasCopy(r.Addr) {
+	for _, i := range targets {
+		if ch := b.holders[i]; ch != nil && ch.HasCopy(r.Addr) {
 			shared = true
 			break
 		}
 	}
 	// Snoop phase: a Local owner interrupts the read.
-	for i, s := range b.snoopers {
-		if b.snoopIDs[i] == r.Source {
-			continue
-		}
-		if inhibit, data := s.SnoopRead(r.Addr, r.Source); inhibit {
+	for _, i := range targets {
+		if inhibit, data := b.snoopers[i].SnoopRead(r.Addr, r.Source); inhibit {
 			// The read is killed; its slot carries the owner's bus write,
 			// which updates memory and is observed by everyone else
 			// (including, harmlessly, the original requester's cache).
@@ -598,11 +710,8 @@ func (b *Bus) executeRead(r *Request) Result {
 	// (they, not the bus, decide whether to take it).
 	data := b.mem.ReadWord(r.Addr)
 	b.stats.ByOp[OpRead]++
-	for i, s := range b.snoopers {
-		if b.snoopIDs[i] == r.Source {
-			continue
-		}
-		s.ObserveReadData(r.Addr, data, r.Source)
+	for _, i := range targets {
+		b.snoopers[i].ObserveReadData(r.Addr, data, r.Source)
 	}
 	b.hold()
 	return Result{Data: data, SharedLine: shared}
@@ -612,20 +721,17 @@ func (b *Bus) executeRMW(r *Request) Result {
 	// Locked read: non-cachable, so only a dirty Local owner flushes, and
 	// no read data is broadcast (Figures 6-1/6-2: spinning Test-and-Sets
 	// leave all cache states unchanged).
-	for i, s := range b.snoopers {
-		if b.snoopIDs[i] == r.Source {
-			continue
-		}
-		if flush, data := s.SnoopRMWRead(r.Addr, r.Source); flush {
+	for _, i := range b.gatherTargets(r.Addr, r.Source) {
+		if flush, data := b.snoopers[i].SnoopRMWRead(r.Addr, r.Source); flush {
 			b.mem.WriteWord(r.Addr, data)
 			b.stats.RMWFlushes++
 			break // the lemma guarantees at most one Local owner
 		}
 	}
 	var old Word
-	if rm, delegated := b.mem.(RMWMemory); delegated {
+	if b.rmwMem != nil {
 		// The port performs (or has performed) the atomic cycle itself.
-		old = rm.RMW(r.Addr, r.Data)
+		old = b.rmwMem.RMW(r.Addr, r.Data)
 	} else {
 		old = b.mem.ReadWord(r.Addr)
 		if old == 0 {
@@ -653,11 +759,8 @@ func (b *Bus) executeRMW(r *Request) Result {
 }
 
 func (b *Bus) broadcastWrite(op Op, addr Addr, data Word, source int) {
-	for i, s := range b.snoopers {
-		if b.snoopIDs[i] == source {
-			continue
-		}
-		s.ObserveWrite(op, addr, data, source)
+	for _, i := range b.gatherTargets(addr, source) {
+		b.snoopers[i].ObserveWrite(op, addr, data, source)
 	}
 }
 

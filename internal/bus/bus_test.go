@@ -727,3 +727,79 @@ func TestKilledLockedReadDoesNotTakeLock(t *testing.T) {
 		t.Fatal("killed locked read took the lock")
 	}
 }
+
+// TestRegisterOrderIndependence pins grant-order determinism against the
+// registration order of requesters: arbitration is a function of slot
+// assertion order and round-robin rotation only, never of the order
+// AttachRequester was called in. With the historical map registry this
+// held because grant order was recomputed from the slots; the
+// slice-backed registry pins it explicitly.
+func TestRegisterOrderIndependence(t *testing.T) {
+	run := func(ids []int) []int {
+		b := New(newFakeMem())
+		for _, id := range ids {
+			// Each source supplies a stream of writes tagged with its id.
+			b.AttachRequester(id, &stubReq{queue: []*Request{
+				{Op: OpWrite, Addr: Addr(id), Data: Word(id)},
+				{Op: OpWrite, Addr: Addr(id), Data: Word(id)},
+			}})
+		}
+		// Slots asserted in fixed ascending order regardless of the
+		// registration order.
+		for id := 0; id < len(ids); id++ {
+			b.RequestSlot(id)
+		}
+		var trace []int
+		for i := 0; i < 2*len(ids); i++ {
+			req, _, granted := b.Tick()
+			if !granted {
+				break
+			}
+			trace = append(trace, req.Source)
+			b.RequestSlot(req.Source)
+		}
+		return trace
+	}
+
+	want := run([]int{0, 1, 2, 3})
+	if len(want) == 0 {
+		t.Fatal("no transactions granted")
+	}
+	for _, order := range [][]int{{3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}} {
+		got := run(order)
+		if len(got) != len(want) {
+			t.Fatalf("registration order %v: %d grants, want %d", order, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("registration order %v: arbitration trace %v, want %v", order, got, want)
+			}
+		}
+	}
+}
+
+// TestSetTickScratchReuse pins that Set.Tick reuses its grant buffer
+// (no per-cycle allocation) while still returning the cycle's grants.
+func TestSetTickScratchReuse(t *testing.T) {
+	mem := newFakeMem()
+	s := NewSet(mem, 1)
+	s.AttachRequester(0, &stubReq{queue: []*Request{
+		{Op: OpWrite, Addr: 1, Data: 10},
+		{Op: OpWrite, Addr: 2, Data: 20},
+	}})
+	s.RequestSlot(1, 0)
+	first := s.Tick()
+	if len(first) != 1 || first[0].Req.Data != 10 {
+		t.Fatalf("first Tick grants = %+v", first)
+	}
+	s.RequestSlot(2, 0)
+	second := s.Tick()
+	if len(second) != 1 || second[0].Req.Data != 20 {
+		t.Fatalf("second Tick grants = %+v", second)
+	}
+	// The scratch is reused: the first slice now aliases the second
+	// cycle's contents, which is exactly why callers must not retain it.
+	if &first[0] != &second[0] {
+		t.Fatal("Set.Tick allocated a fresh grant buffer; expected reuse")
+	}
+}

@@ -1,0 +1,102 @@
+package bus
+
+// Presence is an exact per-address record of which snooper ids hold a
+// cache frame for the address (valid frame, matching tag — precisely the
+// condition under which the cache's lookup succeeds). Every snoop
+// callback (SnoopRead, SnoopRMWRead, ObserveWrite, ObserveReadData) and
+// the shared-line probe (HasCopy) are no-ops for a cache whose lookup
+// misses, so a bus holding a Presence table dispatches snoops only to the
+// recorded holders instead of broadcasting to every attached snooper.
+// With many PEs the broadcast is the simulator's dominant cost — each
+// transaction would otherwise probe every cache's tag store — and the
+// masked dispatch is behavior-identical because skipped caches would have
+// done nothing.
+//
+// The table is an optimization contract, not a coherence directory: the
+// caches themselves must keep it exact by calling Add when a frame starts
+// holding an address (install) and Remove when it stops (eviction,
+// write-back invalidation, an RMW dropping its copy). The protocol state
+// of the frame is irrelevant — a valid frame in state Invalid is still
+// recorded, because its cache still reacts to snoops (if only by running
+// the protocol's identity transitions), exactly as lookup would find it.
+//
+// Masks are one uint64 per address, so ids must be below MaxPresenceIDs;
+// machines with more snoopers simply run without a table (nil Presence =
+// full broadcast, the original behavior).
+type Presence struct {
+	pages  []*presencePage
+	sparse map[Addr]uint64 // addresses >= presenceDenseLimit
+}
+
+// MaxPresenceIDs is the largest snooper population a Presence can track.
+const MaxPresenceIDs = 64
+
+const (
+	presencePageBits   = 12
+	presencePageWords  = 1 << presencePageBits
+	presencePageMask   = presencePageWords - 1
+	presenceDenseLimit = Addr(1) << 24
+)
+
+type presencePage struct {
+	masks [presencePageWords]uint64
+}
+
+// NewPresence returns an empty table.
+func NewPresence() *Presence {
+	return &Presence{}
+}
+
+// Add records that snooper id holds a frame for a.
+func (p *Presence) Add(a Addr, id int) {
+	if a < presenceDenseLimit {
+		pi := int(a >> presencePageBits)
+		if pi >= len(p.pages) {
+			grown := make([]*presencePage, pi+1)
+			copy(grown, p.pages)
+			p.pages = grown
+		}
+		pg := p.pages[pi]
+		if pg == nil {
+			pg = &presencePage{}
+			p.pages[pi] = pg
+		}
+		pg.masks[a&presencePageMask] |= 1 << uint(id)
+		return
+	}
+	if p.sparse == nil {
+		p.sparse = make(map[Addr]uint64)
+	}
+	p.sparse[a] |= 1 << uint(id)
+}
+
+// Remove records that snooper id no longer holds a frame for a.
+func (p *Presence) Remove(a Addr, id int) {
+	if a < presenceDenseLimit {
+		pi := int(a >> presencePageBits)
+		if pi < len(p.pages) && p.pages[pi] != nil {
+			p.pages[pi].masks[a&presencePageMask] &^= 1 << uint(id)
+		}
+		return
+	}
+	if m, ok := p.sparse[a]; ok {
+		m &^= 1 << uint(id)
+		if m == 0 {
+			delete(p.sparse, a)
+		} else {
+			p.sparse[a] = m
+		}
+	}
+}
+
+// Mask returns the holder bitmask for a (bit id set = id holds a frame).
+func (p *Presence) Mask(a Addr) uint64 {
+	if a < presenceDenseLimit {
+		pi := int(a >> presencePageBits)
+		if pi < len(p.pages) && p.pages[pi] != nil {
+			return p.pages[pi].masks[a&presencePageMask]
+		}
+		return 0
+	}
+	return p.sparse[a]
+}

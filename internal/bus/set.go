@@ -11,8 +11,9 @@ import "fmt"
 // The number of buses must be a power of two so the bank of an address is
 // addr & (n-1).
 type Set struct {
-	buses []*Bus
-	mask  Addr
+	buses  []*Bus
+	mask   Addr
+	grants []Grant // reused per-Tick scratch; contents valid until the next Tick
 }
 
 // NewSet creates n interleaved buses over the same memory. n must be a
@@ -72,6 +73,14 @@ func (s *Set) CancelSlot(id int) {
 	}
 }
 
+// SetPresence installs one shared holder table on every bus: all banks
+// see the same caches, so one table serves the whole set.
+func (s *Set) SetPresence(p *Presence) {
+	for _, b := range s.buses {
+		b.SetPresence(p)
+	}
+}
+
 // SetMemLatency configures the memory hold time on every bus.
 func (s *Set) SetMemLatency(cycles int) {
 	for _, b := range s.buses {
@@ -88,14 +97,18 @@ type Grant struct {
 
 // Tick advances every bus one cycle and returns the transactions granted
 // this cycle, in bank order. With n buses up to n transactions complete
-// per cycle — the bandwidth multiplication of Figure 7-1.
+// per cycle — the bandwidth multiplication of Figure 7-1. The returned
+// slice is set-owned scratch, overwritten by the next Tick; callers
+// consume it immediately (as the machine's bus phase does) rather than
+// retaining it.
 func (s *Set) Tick() []Grant {
-	var grants []Grant
+	grants := s.grants[:0]
 	for i, b := range s.buses {
 		if req, res, ok := b.Tick(); ok {
 			grants = append(grants, Grant{BusIndex: i, Req: req, Res: res})
 		}
 	}
+	s.grants = grants
 	return grants
 }
 

@@ -159,13 +159,35 @@ type Cache struct {
 	nsets int
 
 	useClock uint64
-	pend     *pending
-	resolved *bus.Word // completion value awaiting pickup
+	// The single in-flight operation and its completion value are embedded
+	// (not heap-allocated per miss) so the steady-state cycle loop stays
+	// allocation-free; hasPend/hasResolved play the role the nil pointers
+	// used to.
+	pend        pending
+	hasPend     bool
+	resolved    bus.Word // completion value awaiting pickup
+	hasResolved bool
+
+	// plan memoization: the transaction a blocked cache needs is a pure
+	// function of its lines and pending op, so it is recomputed only after
+	// a mutation (processor access, own bus completion, snooped traffic
+	// that touched a line). With many PEs most caches are blocked most
+	// cycles, and without the memo every one of them re-derives the same
+	// plan every cycle.
+	planOK   bool
+	planReq  bus.Request
+	planNeed bool
+	gen      uint64 // mutation generation, see Gen
 
 	// OnResolve, when non-nil, is invoked synchronously whenever an
 	// operation's result binds — on cache hits, bus completions, and
 	// snoop-satisfied resolutions alike.
 	OnResolve func(ResolveInfo)
+
+	// pres, when non-nil, is the machine-wide holder table the bus uses
+	// to dispatch snoops only to frame holders; the cache keeps it exact
+	// at the three points a frame's (valid, addr) binding changes.
+	pres *bus.Presence
 
 	stats Stats
 }
@@ -200,6 +222,11 @@ func MustNew(id int, proto coherence.Protocol, cfg Config) *Cache {
 // ID returns the PE/bus source id.
 func (c *Cache) ID() int { return c.id }
 
+// SetPresence registers the shared holder table this cache reports its
+// frame occupancy to (see bus.Presence). Must be set before any traffic;
+// the cache starts with no valid frames, so the table needs no seeding.
+func (c *Cache) SetPresence(p *bus.Presence) { c.pres = p }
+
 // Protocol returns the cache's coherence scheme.
 func (c *Cache) Protocol() coherence.Protocol { return c.proto }
 
@@ -231,7 +258,31 @@ func (c *Cache) Lookup(a bus.Addr) (coherence.State, bus.Word, bool) {
 }
 
 // Busy reports whether an operation is in flight.
-func (c *Cache) Busy() bool { return c.pend != nil || c.resolved != nil }
+func (c *Cache) Busy() bool { return c.hasPend || c.hasResolved }
+
+// mutated discards the memoized plan and advances the generation
+// counter; every path that changes a line or the pending op calls it
+// before (or instead of) the change.
+func (c *Cache) mutated() {
+	c.planOK = false
+	c.gen++
+}
+
+// Gen returns the cache's mutation generation: it advances on every
+// change to a line or to the in-flight operation (processor accesses,
+// own bus completions, snooped traffic that touched a held line, local
+// resolutions). A caller that saw generation g and sees it again can
+// skip the cache entirely — its bus needs, pending state and resolved
+// value are all exactly as last observed. The machine's cycle loop uses
+// this to poll only caches something happened to.
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// setPend records p as the in-flight operation.
+func (c *Cache) setPend(p pending) {
+	c.pend = p
+	c.hasPend = true
+	c.mutated()
+}
 
 // touch updates the line's LRU stamp.
 func (c *Cache) touch(ln *line) {
@@ -270,12 +321,13 @@ func (c *Cache) Access(ev coherence.ProcEvent, a bus.Addr, data bus.Word, class 
 	if !c.proto.Cachable(class, ev) {
 		c.stats.Bypasses++
 		c.countMiss(cls, ev)
-		c.pend = &pending{ev: ev, class: class, addr: a, data: data}
+		c.setPend(pending{ev: ev, class: class, addr: a, data: data})
 		return false, 0
 	}
 	if ln := c.lookup(a); ln != nil {
 		out := c.proto.OnProc(ln.state, ln.aux, ev)
 		if out.Action == coherence.ActNone {
+			c.mutated()
 			ln.state, ln.aux = out.Next, out.NextAux
 			applyDirty(ln, out.Dirty)
 			if ev == coherence.EvWrite {
@@ -290,7 +342,7 @@ func (c *Cache) Access(ev coherence.ProcEvent, a bus.Addr, data bus.Word, class 
 		}
 	}
 	c.countMiss(cls, ev)
-	c.pend = &pending{ev: ev, class: class, addr: a, data: data}
+	c.setPend(pending{ev: ev, class: class, addr: a, data: data})
 	return false, 0
 }
 
@@ -311,9 +363,10 @@ func (c *Cache) fire(rmw bool, ev coherence.ProcEvent, a bus.Addr, data, value b
 
 // resolve finishes the pending operation p, binding value as its result.
 func (c *Cache) resolve(p *pending, value bus.Word) {
-	c.pend = nil
-	v := value
-	c.resolved = &v
+	c.hasPend = false
+	c.resolved = value
+	c.hasResolved = true
+	c.mutated()
 	c.fire(p.rmw, p.ev, p.addr, p.data, value)
 }
 
@@ -328,6 +381,7 @@ func (c *Cache) AccessRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word)
 	c.stats.RMWs++
 	if ln := c.lookup(a); ln != nil && c.proto.LocalRMW(ln.state) {
 		c.stats.LocalRMWs++
+		c.mutated()
 		old = ln.data
 		if old == 0 {
 			out := c.proto.OnProc(ln.state, ln.aux, coherence.EvWrite)
@@ -340,7 +394,7 @@ func (c *Cache) AccessRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word)
 		c.fire(true, coherence.EvWrite, a, setVal, old)
 		return true, old
 	}
-	c.pend = &pending{ev: coherence.EvWrite, addr: a, data: setVal, rmw: true}
+	c.setPend(pending{ev: coherence.EvWrite, addr: a, data: setVal, rmw: true})
 	return false, 0
 }
 
@@ -354,6 +408,7 @@ func (c *Cache) TryLocalRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Wor
 	}
 	c.stats.RMWs++
 	c.stats.LocalRMWs++
+	c.mutated()
 	old = ln.data
 	if old == 0 {
 		out := c.proto.OnProc(ln.state, ln.aux, coherence.EvWrite)
@@ -375,7 +430,7 @@ func (c *Cache) AccessLockedRead(a bus.Addr) {
 		panic(fmt.Sprintf("cache %d: AccessLockedRead while busy", c.id))
 	}
 	c.stats.RMWs++
-	c.pend = &pending{ev: coherence.EvRead, addr: a, lockRead: true, bypass: true}
+	c.setPend(pending{ev: coherence.EvRead, addr: a, lockRead: true, bypass: true})
 }
 
 // AccessUnlockWrite issues phase 2: the "modified value is stored back
@@ -388,7 +443,7 @@ func (c *Cache) AccessUnlockWrite(a bus.Addr, v bus.Word, cached bool) {
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: AccessUnlockWrite while busy", c.id))
 	}
-	c.pend = &pending{ev: coherence.EvWrite, addr: a, data: v, unlock: true, bypass: !cached}
+	c.setPend(pending{ev: coherence.EvWrite, addr: a, data: v, unlock: true, bypass: !cached})
 }
 
 // WantsBus reports whether the cache needs a bus grant, and for which
@@ -396,10 +451,10 @@ func (c *Cache) AccessUnlockWrite(a bus.Addr, v bus.Word, cached bool) {
 // The needed address can change as snooped traffic changes line states;
 // callers should re-check after every bus cycle.
 func (c *Cache) WantsBus() (bus.Addr, bool) {
-	if c.pend == nil {
+	if !c.hasPend {
 		return 0, false
 	}
-	req, need, _ := c.plan()
+	req, need := c.planCached()
 	if !need {
 		return 0, false
 	}
@@ -408,17 +463,66 @@ func (c *Cache) WantsBus() (bus.Addr, bool) {
 
 // NeedsPriority reports whether the pending operation is an interrupted
 // read owed an immediate retry.
-func (c *Cache) NeedsPriority() bool { return c.pend != nil && c.pend.retry }
+func (c *Cache) NeedsPriority() bool { return c.hasPend && c.pend.retry }
+
+// PendingString names the in-flight processor operation for diagnostics —
+// the machine's watchdog embeds it in StallError so a wedged run reports
+// *which* transaction never completed. It is side-effect free (it does
+// not run plan), describing the operation rather than the next bus leg.
+func (c *Cache) PendingString() string {
+	if c.hasResolved {
+		return fmt.Sprintf("resolved value=%d awaiting pickup", c.resolved)
+	}
+	if !c.hasPend {
+		return "idle"
+	}
+	p := &c.pend
+	op := "read"
+	if p.ev == coherence.EvWrite {
+		op = "write"
+	}
+	switch {
+	case p.rmw:
+		op = "rmw"
+	case p.lockRead:
+		op = "locked-read"
+	case p.unlock:
+		op = "unlock-write"
+	}
+	s := fmt.Sprintf("%s addr=%d", op, p.addr)
+	if p.ev == coherence.EvWrite {
+		s += fmt.Sprintf(" data=%d", p.data)
+	}
+	if p.retry {
+		s += " retry"
+	}
+	if p.bypass {
+		s += " bypass"
+	}
+	return s
+}
+
+// planCached returns the memoized plan, recomputing it only after a
+// mutation. Safe because plan with unchanged state is deterministic, and
+// its only side effects (local resolution) would already have fired on
+// the call that populated the memo.
+func (c *Cache) planCached() (bus.Request, bool) {
+	if !c.planOK {
+		c.planReq, c.planNeed, _ = c.plan()
+		c.planOK = true
+	}
+	return c.planReq, c.planNeed
+}
 
 // plan derives the bus transaction the pending operation needs right now.
 // need=false with resolvedLocally=true means the operation just completed
 // without the bus (state changed under us); need=false with
-// resolvedLocally=false cannot happen while pend != nil.
+// resolvedLocally=false cannot happen while pend is live.
 func (c *Cache) plan() (req bus.Request, need bool, resolvedLocally bool) {
-	p := c.pend
-	if p == nil {
+	if !c.hasPend {
 		return bus.Request{}, false, false
 	}
+	p := &c.pend
 	if p.rmw {
 		return c.planRMW(p)
 	}
@@ -473,6 +577,7 @@ func (c *Cache) planRMW(p *pending) (bus.Request, bool, bool) {
 	if ln != nil && c.proto.LocalRMW(ln.state) {
 		// The line turned exclusive while we waited; finish in-cache.
 		c.stats.LocalRMWs++
+		c.mutated()
 		old := ln.data
 		if old == 0 {
 			out := c.proto.OnProc(ln.state, ln.aux, coherence.EvWrite)
@@ -504,8 +609,9 @@ func (c *Cache) planRMW(p *pending) (bus.Request, bool, bool) {
 
 // completeLocally finishes the pending op against a (possibly nil) line.
 func (c *Cache) completeLocally(ln *line, out coherence.ProcOutcome) {
-	p := c.pend
+	p := &c.pend
 	var v bus.Word
+	c.mutated()
 	if ln != nil {
 		ln.state, ln.aux = out.Next, out.NextAux
 		applyDirty(ln, out.Dirty)
@@ -546,8 +652,14 @@ func (c *Cache) install(a bus.Addr, st coherence.State, aux uint8, dirty bool, d
 	ln := c.victim(a)
 	if ln.valid {
 		c.stats.Evictions++
+		if c.pres != nil {
+			c.pres.Remove(ln.addr, c.id)
+		}
 	}
 	*ln = line{valid: true, addr: a, state: st, aux: aux, dirty: dirty, data: data}
+	if c.pres != nil {
+		c.pres.Add(a, c.id)
+	}
 	c.touch(ln)
 	return ln
 }
@@ -555,7 +667,7 @@ func (c *Cache) install(a bus.Addr, st coherence.State, aux uint8, dirty bool, d
 // BusGrant implements bus.Requester: the arbiter granted us the bus
 // serving (bank, banks); supply the transaction or withdraw.
 func (c *Cache) BusGrant(bank, banks int) (bus.Request, bool) {
-	req, need, _ := c.plan()
+	req, need := c.planCached()
 	if !need {
 		return bus.Request{}, false
 	}
@@ -569,10 +681,11 @@ func (c *Cache) BusGrant(bank, banks int) (bus.Request, bool) {
 // BusCompleted folds the result of our own granted transaction back into
 // the cache and reports how the pending operation progressed.
 func (c *Cache) BusCompleted(req bus.Request, res bus.Result) Progress {
-	p := c.pend
-	if p == nil {
+	if !c.hasPend {
 		panic(fmt.Sprintf("cache %d: BusCompleted with nothing pending", c.id))
 	}
+	c.mutated()
+	p := &c.pend
 	// A transaction for a different address is a victim write-back: the
 	// frame is freed (an eviction) and the pending miss continues.
 	if req.Addr != p.addr {
@@ -581,6 +694,9 @@ func (c *Cache) BusCompleted(req bus.Request, res bus.Result) Progress {
 			c.stats.Evictions++
 			ln.valid = false
 			ln.dirty = false
+			if c.pres != nil {
+				c.pres.Remove(req.Addr, c.id)
+			}
 		}
 		return ProgressMore
 	}
@@ -713,6 +829,9 @@ func (c *Cache) rmwCompleted(p *pending, req bus.Request, res bus.Result) Progre
 		} else if ln != nil {
 			// Protocols that do not retain RMW targets drop the copy.
 			ln.valid = false
+			if c.pres != nil {
+				c.pres.Remove(p.addr, c.id)
+			}
 		}
 	}
 	c.resolve(p, old)
@@ -721,12 +840,11 @@ func (c *Cache) rmwCompleted(p *pending, req bus.Request, res bus.Result) Progre
 
 // TakeResolved delivers and clears a completed operation's value.
 func (c *Cache) TakeResolved() (bus.Word, bool) {
-	if c.resolved == nil {
+	if !c.hasResolved {
 		return 0, false
 	}
-	v := *c.resolved
-	c.resolved = nil
-	return v, true
+	c.hasResolved = false
+	return c.resolved, true
 }
 
 // HasCopy implements bus.CopyHolder: the cache drives the shared line
@@ -744,6 +862,7 @@ func (c *Cache) SnoopRead(a bus.Addr, source int) (bool, bus.Word) {
 	if ln == nil {
 		return false, 0
 	}
+	c.mutated()
 	out := c.proto.OnSnoop(ln.state, ln.aux, ln.dirty, coherence.SnBusRead)
 	data := ln.data
 	ln.state, ln.aux = out.Next, out.NextAux
@@ -765,6 +884,7 @@ func (c *Cache) SnoopRMWRead(a bus.Addr, source int) (bool, bus.Word) {
 	if !flush {
 		return false, 0
 	}
+	c.mutated()
 	data := ln.data
 	ln.state = next
 	applyDirty(ln, d)
@@ -778,6 +898,7 @@ func (c *Cache) ObserveWrite(op bus.Op, a bus.Addr, d bus.Word, source int) {
 	if ln == nil {
 		return
 	}
+	c.mutated()
 	ev := coherence.SnBusWrite
 	if op == bus.OpInv {
 		ev = coherence.SnBusInv
@@ -801,6 +922,7 @@ func (c *Cache) ObserveReadData(a bus.Addr, d bus.Word, source int) {
 	if ln == nil {
 		return
 	}
+	c.mutated()
 	out := c.proto.OnSnoop(ln.state, ln.aux, ln.dirty, coherence.SnReadData)
 	ln.state, ln.aux = out.Next, out.NextAux
 	applyDirty(ln, out.Dirty)

@@ -3,13 +3,14 @@ package lint
 import "testing"
 
 func TestDeterminismFixture(t *testing.T) {
-	// The fixture seeds seven violations — the math/rand import, a map
+	// The fixture seeds eight violations — the math/rand import, a map
 	// range that prints, one that appends without sorting, one that
 	// returns an iteration element, a time.Now call, a map range that
-	// journals through json.Encoder, and one that emits report rows —
+	// journals through json.Encoder, one that emits report rows, and a
+	// dense-store snapshot whose sparse-overflow keys escape unsorted —
 	// while the collect-then-sort, any-match, commutative-fold, map-fill,
-	// sorted-journal and ignore-waived forms stay silent. Diagnostics
-	// arrive sorted by position, i.e. source order.
+	// sorted-journal, ignore-waived and sorted-snapshot forms stay
+	// silent. Diagnostics arrive sorted by position, i.e. source order.
 	expectDiags(t, runOn(t, "testdata/determinism"), [][2]string{
 		{"determinism", "import of math/rand"},
 		{"determinism", "reaches output through fmt.Println"},
@@ -18,5 +19,6 @@ func TestDeterminismFixture(t *testing.T) {
 		{"determinism", "wall-clock input"},
 		{"determinism", "reaches output through json.Encoder.Encode"},
 		{"determinism", "reaches output through report.Table.AddRowf"},
+		{"determinism", `reaches slice "addrs" via append without a subsequent sort`},
 	})
 }

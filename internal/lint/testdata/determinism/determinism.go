@@ -127,3 +127,42 @@ func RowLoop(t *report.Table, m map[string]int) {
 		t.AddRowf(k, v)
 	}
 }
+
+// hybridStore mirrors internal/memory's dense store: a dense array for
+// the hot address range plus a sparse map for the overflow. Its snapshot
+// path is the shape the determinism analyzer must keep honest — the
+// dense half iterates in place (inherently ordered), but the sparse half
+// ranges a map, so its keys must be collected and sorted before any
+// consumer sees them.
+type hybridStore struct {
+	dense  []uint64
+	sparse map[uint32]uint64
+}
+
+// SnapshotUnsorted walks the sparse overflow straight out of the map:
+// the emitted order differs run to run.
+func (s *hybridStore) SnapshotUnsorted() []uint32 {
+	var addrs []uint32
+	for a := range s.dense {
+		addrs = append(addrs, uint32(a))
+	}
+	for a := range s.sparse { // want: append without sort
+		addrs = append(addrs, a)
+	}
+	return addrs
+}
+
+// SnapshotSorted is the dense store's blessed idiom: dense pages in
+// place, then sparse keys collected and sorted.
+func (s *hybridStore) SnapshotSorted() []uint32 {
+	addrs := make([]uint32, 0, len(s.dense)+len(s.sparse))
+	for a := range s.dense {
+		addrs = append(addrs, uint32(a))
+	}
+	start := len(addrs)
+	for a := range s.sparse {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs[start:], func(i, j int) bool { return addrs[start+i] < addrs[start+j] })
+	return addrs
+}

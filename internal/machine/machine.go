@@ -10,7 +10,6 @@ package machine
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bus"
 	"repro/internal/cache"
@@ -102,15 +101,17 @@ func (e *StallError) Error() string {
 // never-(retired-)written address must match the address's pristine
 // content, but by the time the retirement is checked the very transaction
 // being retired may already have modified memory (an RMW writes its lock
-// within the same bus cycle).
+// within the same bus cycle). The record is itself a dense memory.Memory
+// — its written bitmap is the "seen" set — so the interposed write path
+// stays map-free and allocation-free in steady state.
 type pristineMem struct {
 	*memory.Memory
-	initial map[bus.Addr]bus.Word
+	init *memory.Memory // value of each address before its first bus write
 }
 
 func (p *pristineMem) WriteWord(a bus.Addr, w bus.Word) {
-	if _, seen := p.initial[a]; !seen {
-		p.initial[a] = p.Peek(a)
+	if !p.init.Written(a) {
+		p.init.Poke(a, p.Peek(a))
 	}
 	p.Memory.WriteWord(a, w)
 }
@@ -118,8 +119,8 @@ func (p *pristineMem) WriteWord(a bus.Addr, w bus.Word) {
 // pristine returns the address's value from before any bus write touched
 // it.
 func (p *pristineMem) pristine(a bus.Addr) bus.Word {
-	if v, seen := p.initial[a]; seen {
-		return v
+	if p.init.Written(a) {
+		return p.init.Peek(a)
 	}
 	return p.Peek(a)
 }
@@ -133,13 +134,20 @@ type Machine struct {
 	procs  []*processor.Processor
 	agents []workload.Agent
 
-	oracle   map[bus.Addr]bus.Word
+	// oracle is the read-latest oracle's view of memory: the written
+	// bitmap marks addresses some retired write has touched, the stored
+	// word is the latest such value in serialization order. A dense store
+	// rather than a map so oracle-on runs stay allocation-free too.
+	oracle   *memory.Memory
 	slotBank []int
 	cycle    uint64
 	err      error
 
 	issueCycle []uint64 // per PE: cycle its in-flight op was issued (0 = none)
+	lastGen    []uint64 // per PE: cache generation at its last phase-3 pass
 	missLat    stats.Histogram
+
+	dirtyOwners map[bus.Addr]int // VerifyFinalMemory scratch, reused across calls
 }
 
 // New builds a machine running one agent per processing element.
@@ -150,12 +158,20 @@ func New(cfg Config, agents []workload.Agent) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:    cfg,
-		mem:    &pristineMem{Memory: memory.New(), initial: make(map[bus.Addr]bus.Word)},
+		mem:    &pristineMem{Memory: memory.New(), init: memory.New()},
 		agents: agents,
-		oracle: make(map[bus.Addr]bus.Word),
+		oracle: memory.New(),
 	}
 	m.buses = bus.NewSet(m.mem, cfg.Buses)
 	m.buses.SetMemLatency(cfg.MemLatency)
+	// The holder table lets the buses snoop only actual frame holders — a
+	// pure optimization (skipped snoops are no-ops), available while PE
+	// ids fit one mask word; bigger machines fall back to full broadcast.
+	var pres *bus.Presence
+	if len(agents) <= bus.MaxPresenceIDs {
+		pres = bus.NewPresence()
+		m.buses.SetPresence(pres)
+	}
 	for i, agent := range agents {
 		c, err := cache.New(i, cfg.Protocol, cache.Config{Lines: cfg.CacheLines, Ways: cfg.CacheWays})
 		if err != nil {
@@ -165,6 +181,7 @@ func New(cfg Config, agents []workload.Agent) (*Machine, error) {
 			pe := i
 			c.OnResolve = func(info cache.ResolveInfo) { m.checkResolve(pe, info) }
 		}
+		c.SetPresence(pres)
 		m.buses.Attach(i, c)
 		m.buses.AttachRequester(i, c)
 		m.caches = append(m.caches, c)
@@ -173,6 +190,7 @@ func New(cfg Config, agents []workload.Agent) (*Machine, error) {
 		m.procs = append(m.procs, proc)
 		m.slotBank = append(m.slotBank, -1)
 		m.issueCycle = append(m.issueCycle, 0)
+		m.lastGen = append(m.lastGen, ^uint64(0)) // force the first pass
 	}
 	return m, nil
 }
@@ -232,6 +250,12 @@ func (m *Machine) Step() error {
 	// withdrawn because a snooped write already satisfied the operation);
 	// here we only deliver bound values back to their processors.
 	for _, g := range m.buses.Tick() {
+		if g.Req.Source >= len(m.caches) {
+			// The requester registry is open: a directly attached device
+			// (a test harness wedge, say) can win bus grants too, and its
+			// completions are not cache completions.
+			continue
+		}
 		c := m.caches[g.Req.Source]
 		switch c.BusCompleted(g.Req, g.Res) {
 		case cache.ProgressRetry, cache.ProgressMoreUrgent:
@@ -258,10 +282,27 @@ func (m *Machine) Step() error {
 	// Planning can resolve an operation without the bus (a snooped write
 	// satisfied it); such resolutions bind their value now and are
 	// delivered at the end of the cycle.
+	//
+	// Caches whose generation is unchanged since the last pass are
+	// skipped outright: nothing happened to them, so their bus needs are
+	// as last asserted (a stalled slot is kept alive by the bus itself,
+	// and any grant, withdrawal or snoop hit advances the generation),
+	// they cannot have resolved anything, and an unchanged priority claim
+	// needs no action — the skip is exactly the no-op the full pass would
+	// have performed. With many PEs most caches are idle or blocked most
+	// cycles, and the cycle loop touches only the ones with news.
 	for i, c := range m.caches {
-		if c.NeedsPriority() {
-			continue // priority slot already asserted at interrupt time
+		gen := c.Gen()
+		if gen == m.lastGen[i] {
+			continue
 		}
+		if c.NeedsPriority() {
+			// Priority slot already asserted at interrupt time.
+			m.lastGen[i] = gen
+			continue
+		}
+		// WantsBus may resolve the operation locally (advancing the
+		// generation), so re-read the counter after it.
 		if addr, want := c.WantsBus(); want {
 			bank := m.buses.BankOf(addr)
 			if m.slotBank[i] != bank && m.slotBank[i] >= 0 {
@@ -273,8 +314,10 @@ func (m *Machine) Step() error {
 			m.buses.CancelSlot(i)
 			m.slotBank[i] = -1
 		}
-	}
-	for i, c := range m.caches {
+		m.lastGen[i] = c.Gen()
+		// A delivery can start the next leg of a two-phase Test-and-Set
+		// (a new pending op), advancing the generation again; the next
+		// cycle's pass picks that up, as the separate delivery loop did.
 		if v, ok := c.TakeResolved(); ok {
 			m.deliver(i, v)
 		}
@@ -287,8 +330,8 @@ func (m *Machine) Step() error {
 				addr, wants := m.caches[i].WantsBus()
 				m.err = &StallError{
 					Cycle: m.cycle, PE: i, Since: since,
-					Pending: fmt.Sprintf("wantsBus=%v addr=%d priority=%v",
-						wants, addr, m.caches[i].NeedsPriority()),
+					Pending: fmt.Sprintf("%s (wantsBus=%v addr=%d priority=%v)",
+						m.caches[i].PendingString(), wants, addr, m.caches[i].NeedsPriority()),
 				}
 				break
 			}
@@ -318,10 +361,10 @@ func (m *Machine) checkResolve(pe int, info cache.ResolveInfo) {
 			m.err = &ConsistencyError{Cycle: m.cycle, PE: pe, Op: op, Got: info.Value, Expected: exp}
 		}
 		if info.Value == 0 {
-			m.oracle[a] = info.Data
+			m.oracle.Poke(a, info.Data)
 		}
 	case info.Ev == coherence.EvWrite:
-		m.oracle[a] = info.Data
+		m.oracle.Poke(a, info.Data)
 	default:
 		op := workload.Read(a, coherence.ClassUnknown)
 		if exp := m.latest(a); info.Value != exp && m.err == nil {
@@ -335,8 +378,8 @@ func (m *Machine) checkResolve(pe int, info cache.ResolveInfo) {
 // touches an address without a prior retired write, so the oracle entry
 // always exists when memory has been modified by program writes).
 func (m *Machine) latest(a bus.Addr) bus.Word {
-	if v, ok := m.oracle[a]; ok {
-		return v
+	if m.oracle.Written(a) {
+		return m.oracle.Peek(a)
 	}
 	return m.mem.pristine(a)
 }
@@ -373,30 +416,33 @@ func (m *Machine) VerifyFinalMemory() error {
 		return fmt.Errorf("machine: VerifyFinalMemory before Done")
 	}
 	final := m.mem.Snapshot()
-	dirtyOwners := make(map[bus.Addr]int)
+	if m.dirtyOwners == nil {
+		m.dirtyOwners = make(map[bus.Addr]int)
+	}
+	clear(m.dirtyOwners)
 	for i, c := range m.caches {
 		for _, e := range c.Entries() {
 			if e.Dirty {
-				if prev, dup := dirtyOwners[e.Addr]; dup {
+				if prev, dup := m.dirtyOwners[e.Addr]; dup {
 					return fmt.Errorf("machine: caches %d and %d both hold addr %d dirty", prev, i, e.Addr)
 				}
-				dirtyOwners[e.Addr] = i
+				m.dirtyOwners[e.Addr] = i
 				final[e.Addr] = e.Data
 			}
 		}
 	}
-	// Compare against the oracle on every address it knows.
-	addrs := make([]bus.Addr, 0, len(m.oracle))
-	for a := range m.oracle {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		if final[a] != m.oracle[a] {
-			return fmt.Errorf("machine: final value of addr %d is %d, oracle says %d", a, final[a], m.oracle[a])
+	// Compare against the oracle on every address it knows; Range walks in
+	// ascending address order, so the first mismatch reported is
+	// deterministic.
+	var verr error
+	m.oracle.Range(func(a bus.Addr, want bus.Word) bool {
+		if final[a] != want {
+			verr = fmt.Errorf("machine: final value of addr %d is %d, oracle says %d", a, final[a], want)
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return verr
 }
 
 // Metrics is an aggregate snapshot of the whole machine.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/coherence"
+	"repro/internal/memory"
 	"repro/internal/workload"
 )
 
@@ -437,6 +438,98 @@ func TestWatchdog(t *testing.T) {
 	}
 	if se.Error() == "" || se.Cycle <= se.Since {
 		t.Fatalf("stall error malformed: %+v", se)
+	}
+}
+
+// lockWedge is a raw bus requester that takes the word lock register via
+// a locked read and then goes silent — the unlock write never comes, so
+// every later write to the word stalls at arbitration forever. It is the
+// deliberate wedge the watchdog exists to diagnose.
+type lockWedge struct {
+	addr bus.Addr
+	done bool
+}
+
+func (w *lockWedge) BusGrant(bank, banks int) (bus.Request, bool) {
+	if w.done {
+		return bus.Request{}, false
+	}
+	w.done = true
+	return bus.Request{Op: bus.OpRead, Addr: w.addr, Lock: true}, true
+}
+
+// spinWriter writes one shared word forever.
+type spinWriter struct{ addr bus.Addr }
+
+func (s *spinWriter) Next(workload.Result) workload.Op {
+	return workload.Write(s.addr, 1, coherence.ClassShared)
+}
+
+// TestWatchdogNamesWedgedTransaction wedges the bus on purpose — a rogue
+// requester takes the lock register and never releases it — and checks
+// the resulting StallError's Pending string names the transaction that
+// could not complete, which is what makes the watchdog actionable.
+func TestWatchdogNamesWedgedTransaction(t *testing.T) {
+	const lockAddr = bus.Addr(7)
+	agents := []workload.Agent{&spinWriter{addr: lockAddr}}
+	m := MustNew(Config{WatchdogCycles: 50}, agents)
+	wedge := &lockWedge{addr: lockAddr}
+	m.buses.AttachRequester(len(agents), wedge)
+	m.buses.RequestSlot(lockAddr, len(agents))
+
+	_, err := m.Run(100_000)
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("err = %v, want StallError", err)
+	}
+	if !wedge.done {
+		t.Fatal("wedge never granted; the run stalled for another reason")
+	}
+	if se.PE != 0 {
+		t.Fatalf("stalled PE = %d, want 0", se.PE)
+	}
+	want := "write addr=7"
+	if !strings.Contains(se.Pending, want) {
+		t.Fatalf("Pending = %q, does not name the blocked transaction %q", se.Pending, want)
+	}
+	if !strings.Contains(se.Error(), want) {
+		t.Fatalf("Error() = %q, does not surface the blocked transaction", se.Error())
+	}
+}
+
+// TestPristineMemRMWSameCycle pins the oracle's pre-first-write record
+// under the hard case it exists for: an RMW's lock write lands in memory
+// within the same bus cycle that sampled the old value, so by the time
+// the retirement is checked, plain memory already shows the new word.
+func TestPristineMemRMWSameCycle(t *testing.T) {
+	p := &pristineMem{Memory: memory.New(), init: memory.New()}
+	const a = bus.Addr(5)
+	p.Memory.Poke(a, 42) // initial image, as a loader would leave it
+
+	// The RMW's locked read samples 42; its lock write follows in the
+	// same cycle. The oracle must still see 42 as the pristine content.
+	if got := p.ReadWord(a); got != 42 {
+		t.Fatalf("locked read sampled %d, want 42", got)
+	}
+	p.WriteWord(a, 1)
+	if got := p.Peek(a); got != 1 {
+		t.Fatalf("memory shows %d after the lock write, want 1", got)
+	}
+	if got := p.pristine(a); got != 42 {
+		t.Fatalf("pristine(%d) = %d after the lock write, want 42", a, got)
+	}
+
+	// Later writes must not disturb the first-write record.
+	p.WriteWord(a, 9)
+	if got := p.pristine(a); got != 42 {
+		t.Fatalf("pristine(%d) = %d after a second write, want 42", a, got)
+	}
+
+	// A never-bus-written address reports its current (loader) content.
+	const b = bus.Addr(6)
+	p.Memory.Poke(b, 7)
+	if got := p.pristine(b); got != 7 {
+		t.Fatalf("pristine(%d) = %d for an unwritten word, want 7", b, got)
 	}
 }
 

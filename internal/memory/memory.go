@@ -4,6 +4,16 @@
 // Section 4 product machine — it is the default responder for bus reads
 // and the target of every write-through.
 //
+// The store is dense and page-granular: addresses below the dense limit
+// live in lazily allocated fixed-size pages (a slice index, a mask, no
+// hashing), so the simulator's steady-state read/write path performs no
+// map operations and no allocations once a page exists. Addresses at or
+// above the limit — huge or deliberately sparse address spaces, e.g.
+// replayed traces with 32-bit addresses — fall back to a sparse map with
+// identical semantics. Each page tracks which words were ever stored, so
+// Footprint and Snapshot keep the exact "words ever written" meaning the
+// map-backed store had.
+//
 // The package also supports deliberate corruption of stored words, used by
 // the Section 8 reliability experiment ("the exploitation of replicated
 // values in the various caches to improve the reliability of the memory").
@@ -11,9 +21,41 @@ package memory
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"repro/internal/bus"
 )
+
+const (
+	// pageBits sizes a page at 4096 words (16 KiB of data); small enough
+	// that a sparse workload wastes little, large enough that the paper's
+	// working sets fit in a handful of pages.
+	pageBits  = 12
+	pageWords = 1 << pageBits
+	pageMask  = pageWords - 1
+	// denseLimit bounds the dense page directory to 4096 page pointers
+	// (addresses below 16M words). Higher addresses take the sparse path.
+	denseLimit = bus.Addr(1) << 24
+)
+
+// page is one dense storage unit: the words plus a bitmap of which were
+// ever stored (WriteWord, Poke or Corrupt), preserving the "words ever
+// written" accounting of Footprint and Snapshot.
+type page struct {
+	words   [pageWords]bus.Word
+	written [pageWords / 64]uint64
+	count   int // set bits in written
+}
+
+// mark records that offset o has been stored to.
+func (p *page) mark(o uint32) {
+	w, bit := o>>6, uint64(1)<<(o&63)
+	if p.written[w]&bit == 0 {
+		p.written[w] |= bit
+		p.count++
+	}
+}
 
 // Stats counts memory port activity.
 type Stats struct {
@@ -22,66 +64,182 @@ type Stats struct {
 	Corrupt uint64 // words deliberately corrupted via Corrupt
 }
 
-// Memory is a sparse word-addressed store. The zero value is not usable;
-// call New. Reads of never-written words return zero, matching a machine
+// Memory is a dense word-addressed store (with a sparse fallback for
+// addresses beyond the dense limit). The zero value is not usable; call
+// New. Reads of never-written words return zero, matching a machine
 // whose memory is cleared at power-on (and letting the paper's lock
 // convention — 0 means free — hold without initialization).
 type Memory struct {
-	words map[bus.Addr]bus.Word
-	stats Stats
+	pages  []*page               // directory, indexed by addr >> pageBits
+	sparse map[bus.Addr]bus.Word // addresses >= denseLimit; nil until needed
+	stats  Stats
 }
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{words: make(map[bus.Addr]bus.Word)}
+	return &Memory{}
+}
+
+// pageFor returns the dense page of a, or nil when never touched.
+func (m *Memory) pageFor(a bus.Addr) *page {
+	pi := int(a >> pageBits)
+	if pi >= len(m.pages) {
+		return nil
+	}
+	return m.pages[pi]
+}
+
+// ensurePage returns the dense page of a, allocating it (and growing the
+// directory) on first touch. The allocation is one-time per page; the
+// steady-state store path never reaches it.
+func (m *Memory) ensurePage(a bus.Addr) *page {
+	pi := int(a >> pageBits)
+	if pi >= len(m.pages) {
+		grown := make([]*page, pi+1)
+		copy(grown, m.pages)
+		m.pages = grown
+	}
+	p := m.pages[pi]
+	if p == nil {
+		p = &page{}
+		m.pages[pi] = p
+	}
+	return p
+}
+
+// load returns the stored word without touching the port counters.
+func (m *Memory) load(a bus.Addr) bus.Word {
+	if a < denseLimit {
+		if p := m.pageFor(a); p != nil {
+			return p.words[a&pageMask]
+		}
+		return 0
+	}
+	return m.sparse[a]
+}
+
+// store writes the word without touching the port counters.
+func (m *Memory) store(a bus.Addr, w bus.Word) {
+	if a < denseLimit {
+		p := m.ensurePage(a)
+		p.words[a&pageMask] = w
+		p.mark(uint32(a) & pageMask)
+		return
+	}
+	if m.sparse == nil {
+		m.sparse = make(map[bus.Addr]bus.Word)
+	}
+	m.sparse[a] = w
 }
 
 // ReadWord implements bus.Memory.
 func (m *Memory) ReadWord(a bus.Addr) bus.Word {
 	m.stats.Reads++
-	return m.words[a]
+	return m.load(a)
 }
 
 // WriteWord implements bus.Memory.
 func (m *Memory) WriteWord(a bus.Addr, w bus.Word) {
 	m.stats.Writes++
-	m.words[a] = w
+	m.store(a, w)
 }
 
 // Peek returns the stored word without counting a port access; simulation
 // harnesses and the consistency oracle use it.
-func (m *Memory) Peek(a bus.Addr) bus.Word { return m.words[a] }
+func (m *Memory) Peek(a bus.Addr) bus.Word { return m.load(a) }
 
 // Poke stores a word without counting a port access; used to preload
 // initial images (e.g. all-Readable initial lock values in the Figure 6
 // scenarios).
-func (m *Memory) Poke(a bus.Addr, w bus.Word) { m.words[a] = w }
+func (m *Memory) Poke(a bus.Addr, w bus.Word) { m.store(a, w) }
+
+// Written reports whether the word was ever stored (written, poked or
+// corrupted) — the dense store's membership test, used by the machine's
+// pristine-value bookkeeping in place of a map lookup.
+func (m *Memory) Written(a bus.Addr) bool {
+	if a < denseLimit {
+		p := m.pageFor(a)
+		if p == nil {
+			return false
+		}
+		o := uint32(a) & pageMask
+		return p.written[o>>6]&(uint64(1)<<(o&63)) != 0
+	}
+	_, ok := m.sparse[a]
+	return ok
+}
 
 // Corrupt flips the given bit mask into the stored word, modeling a memory
 // fault. It returns the corrupted value.
 func (m *Memory) Corrupt(a bus.Addr, mask bus.Word) bus.Word {
 	m.stats.Corrupt++
-	m.words[a] ^= mask
-	return m.words[a]
+	w := m.load(a) ^ mask
+	m.store(a, w)
+	return w
 }
 
 // Stats returns a snapshot of the accumulated counters.
 func (m *Memory) Stats() Stats { return m.stats }
 
 // Footprint returns the number of distinct words ever written.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int {
+	n := len(m.sparse)
+	for _, p := range m.pages {
+		if p != nil {
+			n += p.count
+		}
+	}
+	return n
+}
+
+// Range calls f for every word ever written, in ascending address order
+// (dense pages are walked in place; sparse addresses are sorted first),
+// stopping early if f returns false. The sorted order is what keeps
+// consumers — final-memory verification, snapshot diffs — deterministic.
+func (m *Memory) Range(f func(a bus.Addr, w bus.Word) bool) {
+	for pi, p := range m.pages {
+		if p == nil {
+			continue
+		}
+		base := bus.Addr(pi) << pageBits
+		for wi, mask := range p.written {
+			for mask != 0 {
+				bit := bits.TrailingZeros64(mask)
+				mask &^= 1 << bit
+				o := bus.Addr(wi*64 + bit)
+				if !f(base+o, p.words[o]) {
+					return
+				}
+			}
+		}
+	}
+	if len(m.sparse) == 0 {
+		return
+	}
+	addrs := make([]bus.Addr, 0, len(m.sparse))
+	for a := range m.sparse {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if !f(a, m.sparse[a]) {
+			return
+		}
+	}
+}
 
 // Snapshot copies the current contents; the consistency property tests use
 // it to compare final memory images across protocols.
 func (m *Memory) Snapshot() map[bus.Addr]bus.Word {
-	out := make(map[bus.Addr]bus.Word, len(m.words))
-	for a, w := range m.words {
+	out := make(map[bus.Addr]bus.Word, m.Footprint())
+	m.Range(func(a bus.Addr, w bus.Word) bool {
 		out[a] = w
-	}
+		return true
+	})
 	return out
 }
 
 // String summarizes the memory for diagnostics.
 func (m *Memory) String() string {
-	return fmt.Sprintf("memory{words=%d reads=%d writes=%d}", len(m.words), m.stats.Reads, m.stats.Writes)
+	return fmt.Sprintf("memory{words=%d reads=%d writes=%d}", m.Footprint(), m.stats.Reads, m.stats.Writes)
 }

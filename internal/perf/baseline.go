@@ -1,0 +1,32 @@
+package perf
+
+// BaselineEntry is one scenario's pre-refactor measurement.
+type BaselineEntry struct {
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
+// BaselineCommit identifies the tree the baseline was measured on: the
+// last commit whose simulator core used map-backed word storage, a
+// map-backed bus registry, and per-miss/per-retirement heap
+// allocations.
+const BaselineCommit = "bcf57c2"
+
+// Baseline holds the pre-refactor suite measurements, recorded with
+// this same harness (identical scenarios, cycle counts and warmup)
+// immediately before the flat-core refactor landed. BENCH_core.json
+// embeds these numbers so every run reports speedup against them.
+var Baseline = map[string]BaselineEntry{
+	"rb-1pe":          {CyclesPerSec: 6075355, AllocsPerCycle: 1.366},
+	"rb-1pe-oracle":   {CyclesPerSec: 5270182, AllocsPerCycle: 1.367},
+	"rb-8pe":          {CyclesPerSec: 692834, AllocsPerCycle: 8.312},
+	"rb-8pe-oracle":   {CyclesPerSec: 539086, AllocsPerCycle: 8.312},
+	"rb-64pe":         {CyclesPerSec: 110954, AllocsPerCycle: 8.928},
+	"rb-64pe-oracle":  {CyclesPerSec: 107419, AllocsPerCycle: 8.929},
+	"rwb-1pe":         {CyclesPerSec: 6049154, AllocsPerCycle: 1.421},
+	"rwb-1pe-oracle":  {CyclesPerSec: 4902740, AllocsPerCycle: 1.421},
+	"rwb-8pe":         {CyclesPerSec: 709195, AllocsPerCycle: 8.736},
+	"rwb-8pe-oracle":  {CyclesPerSec: 564990, AllocsPerCycle: 8.736},
+	"rwb-64pe":        {CyclesPerSec: 113092, AllocsPerCycle: 8.830},
+	"rwb-64pe-oracle": {CyclesPerSec: 99797, AllocsPerCycle: 8.831},
+}

@@ -1,0 +1,102 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScenarioNamesMatchBaseline pins the suite/baseline contract:
+// BENCH_core.json can only report speedups for scenarios the baseline
+// actually measured.
+func TestScenarioNamesMatchBaseline(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range Scenarios() {
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if _, ok := Baseline[s.Name]; !ok {
+			t.Errorf("scenario %q has no baseline entry", s.Name)
+		}
+	}
+	for name := range Baseline {
+		if !names[name] {
+			t.Errorf("baseline entry %q has no scenario", name)
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	s, err := ScenarioByName("rb-64pe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PEs != 64 || s.Protocol != "rb" || s.Oracle {
+		t.Fatalf("rb-64pe resolved to %+v", s)
+	}
+	if _, err := ScenarioByName("nonesuch"); err == nil {
+		t.Fatal("expected an error for an unknown scenario")
+	}
+}
+
+// TestSteadyStateAllocFree is the allocation regression of the flat-core
+// refactor: after warmup, the cycle loop of every suite machine must not
+// allocate at all — oracle on or off, 1 to 64 PEs. The assertion runs
+// only without the race detector (raceEnabled), whose instrumentation
+// allocates on its own.
+func TestSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; run without -race")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m, err := Build(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm past page allocation, cache fills and scratch growth.
+			if err := m.RunFor(20_000); err != nil {
+				t.Fatal(err)
+			}
+			const chunk = 2_000
+			avg := testing.AllocsPerRun(5, func() {
+				if err := m.RunFor(chunk); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if perCycle := avg / chunk; perCycle != 0 {
+				t.Errorf("steady state allocates: %.6f allocs/cycle (%v allocs per %d cycles)",
+					perCycle, avg, chunk)
+			}
+		})
+	}
+}
+
+// TestRunReportsThroughput smoke-checks the harness itself on a tiny
+// scenario so `go test` stays fast while still driving Run end to end.
+func TestRunReportsThroughput(t *testing.T) {
+	s := Scenario{Name: "smoke", PEs: 2, Protocol: "rb", Oracle: true, Cycles: 5_000, Warmup: 500}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CyclesPerSec <= 0 {
+		t.Errorf("cycles/sec = %v, want > 0", r.CyclesPerSec)
+	}
+	if r.RefsRetired == 0 {
+		t.Error("no references retired")
+	}
+	if r.Name != "smoke" || r.Cycles != 5_000 {
+		t.Errorf("result misreports its scenario: %+v", r)
+	}
+}
+
+// ExampleScenarios documents the suite's shape.
+func ExampleScenarios() {
+	fmt.Println(len(Scenarios()), "scenarios")
+	// Output: 12 scenarios
+}

@@ -52,7 +52,9 @@ type Stats struct {
 }
 
 // Retirement describes one completed memory operation, as delivered to the
-// machine's consistency oracle.
+// machine's consistency oracle. The pointer returned by CPUPhase/Deliver
+// aliases a per-PE record that is overwritten by that PE's next
+// retirement; consumers copy what they need immediately.
 type Retirement struct {
 	PE    int
 	Op    workload.Op
@@ -76,6 +78,11 @@ type Processor struct {
 	twoPhase bool
 	tsPhase  uint8 // 0 idle, 1 awaiting locked read, 2 awaiting unlock
 	tsOld    bus.Word
+
+	// lastRet is the reused retirement record; CPUPhase and Deliver return
+	// &lastRet, valid until the PE's next retirement, so retiring an
+	// operation every cycle allocates nothing.
+	lastRet Retirement
 }
 
 // SetTwoPhaseRMW selects the two-phase Test-and-Set realization: a locked
@@ -226,5 +233,6 @@ func (p *Processor) retire(op workload.Op, v bus.Word) *Retirement {
 		panic(fmt.Sprintf("processor %d: retiring non-memory op %v", p.id, op.Kind))
 	}
 	p.lastResult = workload.Result{Value: v}
-	return &Retirement{PE: p.id, Op: op, Value: v}
+	p.lastRet = Retirement{PE: p.id, Op: op, Value: v}
+	return &p.lastRet
 }

@@ -1,0 +1,52 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// flags into the simulator's command-line front ends, so a slow run can
+// be handed straight to `go tool pprof` without instrumenting anything.
+// It is observability only: enabling a profile never changes what a
+// simulation computes.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. cpuPath and memPath may each be
+// empty (that profile is skipped). The returned stop function flushes
+// and closes whatever was started; call it exactly once, on the normal
+// exit path — a run aborted via os.Exit simply loses the profile, which
+// is the standard net/http/pprof-style tradeoff.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -153,6 +153,12 @@ func newStackModel(rng *RNG, base bus.Addr, size int, p AppProfile) *stackModel 
 		logMax:  math.Log(float64(p.MaxDepth)),
 	}
 	m.midDepth = p.MidDepth
+	// The stack only gains an entry when the sampled depth reaches its
+	// current length, and every sampled depth is below MaxDepth (plus a
+	// float-rounding margin), so this capacity makes promote append-safe
+	// without ever reallocating mid-run — the reference stream must not
+	// be the simulator's steady-state allocation source.
+	m.stack = make([]bus.Addr, 0, p.MaxDepth+2)
 	return m
 }
 

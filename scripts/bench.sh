@@ -1,15 +1,51 @@
 #!/bin/sh
-# bench.sh — benchmark the sweep engine and write BENCH_sweep.json.
+# bench.sh — benchmark entry points; writes the BENCH_*.json artifacts.
 #
-# Runs each benchmark experiment three ways — cold serial (workers=1),
-# cold parallel (workers=GOMAXPROCS), warm (parallel again on the same
-# store) — and records per-experiment wall time, jobs/sec, parallel
-# speedup and warm-cache hit rate. The JSON schema is sweep-bench-v1;
-# see cmd/sweep/main.go (runBench) for the writer.
+#   bench.sh [sweep] [out]       sweep-engine benchmark -> BENCH_sweep.json
+#   bench.sh core [out]          core cycle-loop benchmark -> BENCH_core.json
+#   bench.sh all                 both, default outputs
+#
+# sweep: runs each benchmark experiment three ways — cold serial
+# (workers=1), cold parallel (workers=GOMAXPROCS), warm (parallel again
+# on the same store) — and records per-experiment wall time, jobs/sec,
+# parallel speedup and warm-cache hit rate (schema sweep-bench-v1; see
+# cmd/sweep/main.go runBench).
+#
+# core: runs the internal/perf scenario suite — simulated cycles/sec and
+# allocs/cycle for 1/8/64-PE machines under RB and RWB, oracle on and
+# off — and records the speedup against the recorded pre-refactor
+# baseline (schema core-bench-v1; see cmd/benchcore/main.go).
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_sweep.json}
-echo "==> go run ./cmd/sweep -bench -bench-out $out"
-go run ./cmd/sweep -bench -bench-out "$out"
-echo "==> wrote $out"
+mode=${1:-sweep}
+case "$mode" in
+sweep)
+	out=${2:-BENCH_sweep.json}
+	echo "==> go run ./cmd/sweep -bench -bench-out $out"
+	go run ./cmd/sweep -bench -bench-out "$out"
+	echo "==> wrote $out"
+	;;
+core | bench-core)
+	out=${2:-BENCH_core.json}
+	echo "==> go run ./cmd/benchcore -out $out"
+	go run ./cmd/benchcore -out "$out"
+	echo "==> wrote $out"
+	;;
+all)
+	sh "$0" sweep
+	sh "$0" core
+	;;
+*)
+	# Backward compatibility: a bare output path means the sweep mode.
+	case "$mode" in
+	*.json)
+		sh "$0" sweep "$mode"
+		;;
+	*)
+		echo "bench.sh: unknown mode '$mode' (want sweep, core, or all)" >&2
+		exit 2
+		;;
+	esac
+	;;
+esac

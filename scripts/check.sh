@@ -7,11 +7,14 @@
 #   3. go build    everything compiles
 #   4. go test     the full suite (fuzz seeds included) under the race
 #                  detector
-#   5. protolint   the module's own analyzers: exhaustive switches,
+#   5. allocs      the steady-state zero-allocation regression (runs
+#                  without the race detector, whose instrumentation
+#                  allocates; the -race pass above skips it)
+#   6. protolint   the module's own analyzers: exhaustive switches,
 #                  determinism, protocol table audit
-#   6. modelcheck  a bounded run of the Section 4 product-machine proof
+#   7. modelcheck  a bounded run of the Section 4 product-machine proof
 #                  over every protocol (n=3 caches keeps it seconds)
-#   7. sweep       a bounded smoke of the orchestration engine: parallel
+#   8. sweep       a bounded smoke of the orchestration engine: parallel
 #                  output must be byte-identical to serial and a warm
 #                  cache must execute zero jobs
 set -eu
@@ -33,6 +36,9 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> allocs/cycle regression"
+go test -run TestSteadyStateAllocFree -count=1 ./internal/perf/
 
 echo "==> protolint ./..."
 go run ./cmd/protolint ./...
