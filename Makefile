@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race lint fuzz modelcheck bench bench-core fmt
+.PHONY: check build test race lint fuzz modelcheck fault bench bench-core fmt
 
 check:
 	sh scripts/check.sh
@@ -27,6 +27,11 @@ fuzz:
 
 modelcheck:
 	$(GO) run ./cmd/modelcheck -all -n 3
+
+# fault runs the default S23 fault-injection campaign and prints the
+# per-protocol resilience matrix; `faultcampaign -smoke` is the CI gate.
+fault:
+	$(GO) run ./cmd/faultcampaign
 
 # bench measures the sweep engine (serial vs parallel vs warm cache) and
 # writes BENCH_sweep.json.

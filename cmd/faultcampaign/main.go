@@ -1,0 +1,229 @@
+// Command faultcampaign runs the S23 fault-injection resilience campaign:
+// protocols × fault classes × seeds, each cell injecting seeded faults
+// into a live simulation and classifying them against the divergence
+// oracles as masked, detected, or silent-divergence.
+//
+// Usage:
+//
+//	faultcampaign                                   # default campaign, resilience matrix to stdout
+//	faultcampaign -protocols rb,rb-dirty -classes mem-lost-write -trials 8
+//	faultcampaign -seeds 1,2,3 -j 8 -cache-dir .faultcache -o report.txt
+//	faultcampaign -smoke                            # CI gate: -j1 == -j4 bytes, zero silents in detectable classes
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		protocols = flag.String("protocols", "", "comma-separated protocol names (default rb,rwb,goodman,illinois)")
+		classes   = flag.String("classes", "", "comma-separated fault classes (default all); see -list-classes")
+		seedList  = flag.String("seeds", "1", "comma-separated campaign seeds; each is its own reference run and trial set")
+		trials    = flag.Int("trials", 4, "fault trials per (protocol, class, seed) cell")
+		refs      = flag.Int("refs", 300, "memory references per PE in each trial workload")
+		pes       = flag.Int("pes", 4, "processing elements per trial machine")
+		workers   = flag.Int("j", runtime.NumCPU(), "worker pool size")
+		cacheDir  = flag.String("cache-dir", "", "memoize cell results in this sweep store directory")
+		format    = flag.String("format", "plain", "output format: plain, markdown, csv")
+		outPath   = flag.String("o", "", "write the report here instead of stdout")
+		events    = flag.String("events", "", "write JSONL progress events to this file (\"-\" = stderr)")
+		listCls   = flag.Bool("list-classes", false, "list fault classes and exit")
+		smoke     = flag.Bool("smoke", false, "bounded self-check: byte-identical -j1 vs -j4 reports and zero silent divergences in detectable classes")
+	)
+	flag.Parse()
+
+	if *listCls {
+		for _, c := range fault.Classes() {
+			det := "detectable"
+			if !c.Detectable() {
+				det = "may be silent (oracle blind spot)"
+			}
+			fmt.Printf("%-20s %s\n", c, det)
+		}
+		return
+	}
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign -smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("faultcampaign smoke ok: -j4 report byte-identical to -j1; zero silent divergences in detectable classes")
+		return
+	}
+
+	cfg, err := buildConfig(*protocols, *classes, *seedList, *trials, *refs, *pes)
+	if err != nil {
+		fatal(err)
+	}
+
+	var store sweep.Store
+	if *cacheDir != "" {
+		ds, err := sweep.OpenDirStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+	var eventsW io.Writer
+	if *events == "-" {
+		eventsW = os.Stderr
+	} else if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		eventsW = f
+	}
+
+	// SIGINT cancels dispatch; in-flight cells finish and are journaled,
+	// so re-running with the same -cache-dir resumes where this stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := sweep.New(sweep.Options{Workers: *workers, Store: store, Events: eventsW, Runner: fault.NewCellRunner(cfg)})
+	out, err := eng.Run(ctx, cfg.Specs())
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "faultcampaign: interrupted; completed cells are journaled — re-run with the same -cache-dir to resume")
+		os.Exit(130)
+	}
+	var failures *sweep.FailureSummary
+	if errors.As(err, &failures) {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", failures.Error())
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	report, err := fault.RenderReport(cfg, out, *format)
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(report)
+	}
+
+	// A silent divergence in a detectable class is an oracle hole: always
+	// surface it and fail the run.
+	bad, err := fault.SilentViolations(out)
+	if err != nil {
+		fatal(err)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "faultcampaign: %d silent divergence(s) in detectable classes:\n  %s\n",
+			len(bad), strings.Join(bad, "\n  "))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+	os.Exit(1)
+}
+
+// buildConfig assembles and validates the campaign config from flags.
+func buildConfig(protocols, classes, seedList string, trials, refs, pes int) (fault.CampaignConfig, error) {
+	cfg := fault.CampaignConfig{Trials: trials}
+	cfg.Trial.Refs = refs
+	cfg.Trial.PEs = pes
+	if protocols != "" {
+		for _, p := range strings.Split(protocols, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Protocols = append(cfg.Protocols, p)
+			}
+		}
+	}
+	if classes != "" {
+		for _, name := range strings.Split(classes, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			c, err := fault.ParseClass(name)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Classes = append(cfg.Classes, c)
+		}
+	}
+	for _, part := range strings.Split(seedList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		cfg.Seeds = append(cfg.Seeds, v)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// runSmoke is the CI gate: a small campaign run serially and in parallel
+// must render byte-identical reports, and no detectable fault class may
+// produce a silent divergence.
+func runSmoke() error {
+	cfg := fault.CampaignConfig{
+		Protocols: []string{"rb", "rwb"},
+		Seeds:     []uint64{1},
+		Trials:    2,
+	}
+	cfg.Trial.Refs = 200
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	run := func(workers int) (*sweep.Outcome, error) {
+		eng := sweep.New(sweep.Options{Workers: workers, Runner: fault.NewCellRunner(cfg)})
+		return eng.Run(context.Background(), cfg.Specs())
+	}
+	serial, err := run(1)
+	if err != nil {
+		return err
+	}
+	parallel, err := run(4)
+	if err != nil {
+		return err
+	}
+	a, err := fault.RenderReport(cfg, serial, "plain")
+	if err != nil {
+		return err
+	}
+	b, err := fault.RenderReport(cfg, parallel, "plain")
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("-j4 report differs from -j1")
+	}
+	bad, err := fault.SilentViolations(parallel)
+	if err != nil {
+		return err
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("silent divergence(s) in detectable classes:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}

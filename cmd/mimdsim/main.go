@@ -8,6 +8,8 @@
 //	mimdsim -protocol rwb -pes 8 -workload spinlock-tts -iters 100
 //	mimdsim -protocol rb -pes 16 -workload pde -refs 50000 -buses 2
 //	mimdsim -trace refs.mct -protocol goodman
+//	mimdsim -protocol rb -faults all                # quickstart fault-injection trials
+//	mimdsim -protocol rb-dirty -faults mem-lost-write -fault-trials 8
 package main
 
 import (
@@ -15,10 +17,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/bus"
 	"repro/internal/coherence"
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/profiling"
 	"repro/internal/trace"
@@ -45,6 +49,9 @@ func main() {
 		latency    = flag.Bool("latency", false, "print the miss-latency distribution")
 		watchdog   = flag.Uint64("watchdog", 1_000_000, "abort if a PE stalls this many cycles (0 = off)")
 		configPath = flag.String("config", "", "load a JSON run spec (overrides the workload/machine flags)")
+		faults     = flag.String("faults", "", "run fault-injection trials instead of a plain simulation: comma-separated fault classes, or \"all\"")
+		faultN     = flag.Int("fault-trials", 4, "trials per fault class in -faults mode")
+		faultSeed  = flag.Uint64("fault-seed", 1, "campaign seed for -faults mode (workload and fault plans)")
 		utilWindow = flag.Uint64("utilwindow", 0, "sample bus utilization every N cycles and print the series")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -60,6 +67,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mimdsim:", err)
 		}
 	}()
+
+	if *faults != "" {
+		if err := runFaults(*protoName, *faults, *pes, *faultN, *faultSeed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var cfg machine.Config
 	var agents []workload.Agent
@@ -238,6 +252,58 @@ func buildAgents(wl, tracePath string, pes, refs, iters int, seed uint64) ([]wor
 		}
 	}
 	return agents, nil
+}
+
+// runFaults is the fault-injection quickstart: a fault-free reference run
+// of the campaign workload, then -fault-trials seeded faults per selected
+// class, each classified against the divergence oracles and printed.
+func runFaults(protoName, classList string, pes, trials int, seed uint64) error {
+	proto, err := coherence.ByName(protoName)
+	if err != nil {
+		return err
+	}
+	var classes []fault.Class
+	if classList == "all" {
+		classes = fault.Classes()
+	} else {
+		for _, name := range strings.Split(classList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			c, err := fault.ParseClass(name)
+			if err != nil {
+				return err
+			}
+			classes = append(classes, c)
+		}
+	}
+	if len(classes) == 0 {
+		return fmt.Errorf("no fault classes selected")
+	}
+	tcfg := fault.TrialConfig{Protocol: proto, PEs: pes}
+	ref, err := tcfg.Reference(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol %s: fault-free reference ran %d cycles, %d memory writes\n\n", protoName, ref.Cycles, ref.Writes)
+	for _, class := range classes {
+		// Fresh stream per class, same derivation as the campaign runner,
+		// so trial t here reproduces trial t of the matching campaign cell.
+		trialRNG := workload.NewRNG(seed ^ 0xfa17fa17fa17fa17)
+		var counts [3]int
+		fmt.Printf("%s:\n", class)
+		for t := 0; t < trials; t++ {
+			res, err := fault.RunTrial(tcfg, ref, class, seed, trialRNG.Uint64())
+			if err != nil {
+				return err
+			}
+			counts[res.Outcome]++
+			fmt.Printf("  trial %d: %-8s %s\n", t, res.Outcome, res.Detail)
+		}
+		fmt.Printf("  => masked=%d detected=%d silent=%d\n", counts[fault.Masked], counts[fault.Detected], counts[fault.Silent])
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -17,9 +17,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -97,8 +99,25 @@ func main() {
 		store = ds
 	}
 
+	// SIGINT cancels dispatch; finished artifacts are journaled, so a
+	// re-run with the same -cache-dir resumes instead of starting over.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	eng := sweep.New(sweep.Options{Workers: *jobs, Store: store})
-	out, err := eng.Run(context.Background(), specs)
+	out, err := eng.Run(ctx, specs)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "paperrepro: interrupted; completed artifacts are journaled — re-run with the same -cache-dir to resume")
+		os.Exit(130)
+	}
+	var failures *sweep.FailureSummary
+	if errors.As(err, &failures) {
+		// An artifact panicked or timed out: report what failed, keep the
+		// partial results in the store, and exit non-zero — never print a
+		// partial artifact set as if it were the paper.
+		fmt.Fprintln(os.Stderr, "paperrepro:", failures.Error())
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

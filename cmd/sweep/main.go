@@ -17,10 +17,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -38,6 +40,7 @@ func main() {
 		seedList = flag.String("seeds", "1", "comma-separated replica seeds; replicas aggregate into mean ±stddev cells")
 		scale    = flag.Int("scale", 1, "workload scale multiplier")
 		workers  = flag.Int("j", runtime.NumCPU(), "worker pool size")
+		jobTO    = flag.Duration("job-timeout", 0, "per-job wall-clock budget (e.g. 90s); an overrunning job fails and the sweep continues; 0 disables")
 		cacheDir = flag.String("cache-dir", "", "memoize results in this sweep store directory")
 		format   = flag.String("format", "plain", "output format: plain, markdown, csv")
 		events   = flag.String("events", "", "write JSONL progress events to this file (\"-\" = stderr)")
@@ -124,8 +127,28 @@ func main() {
 		eventsW = f
 	}
 
-	eng := sweep.New(sweep.Options{Workers: *workers, Store: store, Events: eventsW})
-	out, err := eng.Run(context.Background(), specs)
+	// SIGINT cancels the context: dispatch stops, in-flight jobs finish
+	// and land in the journal, and the run exits cleanly — a second ^C
+	// kills the process the usual way (stop() restores default handling
+	// once the run returns).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := sweep.New(sweep.Options{Workers: *workers, Store: store, Events: eventsW, JobTimeout: *jobTO})
+	out, err := eng.Run(ctx, specs)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted; completed jobs are journaled — re-run with the same -cache-dir to resume")
+		os.Exit(130)
+	}
+	var failures *sweep.FailureSummary
+	if errors.As(err, &failures) {
+		// Per-job failures (panics, timeouts): successful jobs are in the
+		// store; report every failure and exit non-zero.
+		fmt.Fprintln(os.Stderr, "sweep:", failures.Error())
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d job(s) completed and are journaled; re-run to retry the failures\n",
+			len(out.Jobs)-len(out.Failed), len(out.Jobs))
+		os.Exit(1)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -162,6 +162,47 @@ type Requester interface {
 	BusGrant(bank, banks int) (req Request, ok bool)
 }
 
+// Verdict is an Injector's ruling on one granted transaction.
+type Verdict uint8
+
+const (
+	// VerdictPass executes the transaction normally.
+	VerdictPass Verdict = iota
+	// VerdictDrop consumes the bus cycle but executes nothing: memory and
+	// the snoopers never see the transaction and the issuer receives no
+	// completion. A dropped transaction models a lost bus cycle; the
+	// issuer either re-derives and re-requests it (snooped traffic
+	// advances its state) or wedges until the watchdog names it.
+	VerdictDrop
+	// VerdictDup executes the transaction twice back to back in the same
+	// grant; the issuer receives the first execution's result. Unlocking
+	// transactions are exempt (the second release would trip the lock
+	// sanity panic) and execute once.
+	VerdictDup
+	// VerdictMute executes the transaction with snooping suppressed: no
+	// shared-line sample, no Local-owner interrupt, no broadcast to the
+	// other caches. The transaction's effects reach memory only.
+	VerdictMute
+)
+
+// Injector is the bus's fault-injection port (internal/fault drives it).
+// A nil injector — the default — costs one pointer test per cycle and
+// per grant, keeping the fault-free hot loop allocation-free and
+// bit-identical to an unhooked bus.
+type Injector interface {
+	// WedgeArbitration is consulted once per non-held cycle before the
+	// grant loop; returning true freezes the arbiter for this cycle (no
+	// source is granted, request lines stay asserted).
+	WedgeArbitration(cycle uint64) bool
+	// OnGrant is consulted once per granted transaction, after
+	// arbitration and the lock/ready checks, before execution. The
+	// request is passed by value: handing the callee a pointer would
+	// force every granted request onto the heap (escape analysis cannot
+	// see through an interface call), breaking the 0 allocs/cycle
+	// guarantee of the fault-free loop.
+	OnGrant(cycle uint64, r Request) Verdict
+}
+
 // Memory is the bus's view of the shared main memory.
 type Memory interface {
 	ReadWord(a Addr) Word
@@ -211,6 +252,12 @@ type Stats struct {
 	BusyCycles  uint64         // cycles the bus carried a transaction
 	IdleCycles  uint64         // cycles with no transaction
 	WaitCycles  uint64         // requester-cycles spent with a slot pending
+
+	// Fault-injection counters (always zero without an Injector).
+	FaultDrops  uint64 // granted transactions suppressed by VerdictDrop
+	FaultDups   uint64 // granted transactions doubled by VerdictDup
+	FaultMutes  uint64 // granted transactions executed snoop-silent
+	FaultWedges uint64 // cycles the arbiter was frozen by the injector
 }
 
 // Transactions returns the total number of completed transactions.
@@ -260,6 +307,10 @@ func (s *Stats) Add(other *Stats) {
 	s.BusyCycles += other.BusyCycles
 	s.IdleCycles += other.IdleCycles
 	s.WaitCycles += other.WaitCycles
+	s.FaultDrops += other.FaultDrops
+	s.FaultDups += other.FaultDups
+	s.FaultMutes += other.FaultMutes
+	s.FaultWedges += other.FaultWedges
 }
 
 // Bus is a single shared bus with a round-robin arbiter, driven one cycle
@@ -318,6 +369,12 @@ type Bus struct {
 
 	stats Stats
 
+	// inj is the optional fault injector; nil (the default) keeps every
+	// hook a single pointer test. muteSnoops is set for the duration of a
+	// VerdictMute execution: gatherTargets then dispatches to nobody.
+	inj        Injector
+	muteSnoops bool
+
 	// Trace, when non-nil, receives every completed transaction; the
 	// figure-reproduction experiments use it to print bus activity.
 	Trace func(cycle uint64, r Request, res Result)
@@ -333,6 +390,9 @@ func New(mem Memory) *Bus {
 	b.rmwMem, _ = mem.(RMWMemory)
 	return b
 }
+
+// SetInjector installs (or, with nil, removes) the fault injector.
+func (b *Bus) SetInjector(inj Injector) { b.inj = inj }
 
 // Locked reports the current lock register (holder -1 when free).
 func (b *Bus) Locked() (holder int, addr Addr) { return b.lockHolder, b.lockAddr }
@@ -411,6 +471,12 @@ func (b *Bus) SetPresence(p *Presence) {
 // owner can inhibit or flush).
 func (b *Bus) gatherTargets(addr Addr, source int) []int {
 	t := b.targets[:0]
+	if b.muteSnoops {
+		// VerdictMute: the transaction executes with snooping suppressed —
+		// no shared-line sample, no owner interrupt, no broadcasts.
+		b.targets = t
+		return t
+	}
 	if b.pres != nil {
 		for m := b.pres.Mask(addr) &^ (1 << uint(source)); m != 0; {
 			id := bits.TrailingZeros64(m)
@@ -542,6 +608,12 @@ func (b *Bus) Tick() (req Request, res Result, granted bool) {
 		return Request{}, Result{}, false
 	}
 	b.stats.WaitCycles += uint64(b.PendingLen())
+	if b.inj != nil && b.inj.WedgeArbitration(b.cycle) {
+		// Arbiter frozen: no grant, request lines stay asserted.
+		b.stats.FaultWedges++
+		b.stats.IdleCycles++
+		return Request{}, Result{}, false
+	}
 	req, res, granted = b.arbitrate()
 	// Stalled sources keep their request lines asserted. The scratch
 	// slice is bus-owned and reused so a stall-heavy cycle allocates
@@ -589,12 +661,38 @@ func (b *Bus) arbitrate() (Request, Result, bool) {
 			b.stalled = append(b.stalled, source)
 			continue
 		}
+		verdict := VerdictPass
+		if b.inj != nil {
+			verdict = b.inj.OnGrant(b.cycle, r)
+		}
+		if verdict == VerdictDrop {
+			// The transaction vanishes mid-flight: the cycle is consumed
+			// but neither memory nor any snooper (nor the issuer) sees it.
+			b.stats.FaultDrops++
+			b.stats.BusyCycles++
+			return Request{}, Result{}, false
+		}
 		b.stats.Grants++
 		b.stats.BusyCycles++
 		if r.Retry {
 			b.stats.Retries++
 		}
-		result := b.execute(&r)
+		var result Result
+		switch verdict {
+		case VerdictDup:
+			b.stats.FaultDups++
+			result = b.execute(&r)
+			if !r.Unlock {
+				b.execute(&r)
+			}
+		case VerdictMute:
+			b.stats.FaultMutes++
+			b.muteSnoops = true
+			result = b.execute(&r)
+			b.muteSnoops = false
+		default:
+			result = b.execute(&r)
+		}
 		if b.Trace != nil {
 			b.Trace(b.cycle, r, result)
 		}

@@ -81,6 +81,15 @@ func (s *Set) SetPresence(p *Presence) {
 	}
 }
 
+// SetInjector installs one fault injector on every bus (nil removes it).
+// The injector sees each bank's own cycle counter; banks tick in lockstep,
+// so the counters agree.
+func (s *Set) SetInjector(inj Injector) {
+	for _, b := range s.buses {
+		b.SetInjector(inj)
+	}
+}
+
 // SetMemLatency configures the memory hold time on every bus.
 func (s *Set) SetMemLatency(cycles int) {
 	for _, b := range s.buses {

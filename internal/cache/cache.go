@@ -90,6 +90,10 @@ type Stats struct {
 	RMWFlushes    uint64 // locked-read flushes supplied
 	Retries       uint64 // reads re-issued after an interrupt
 	Bypasses      uint64 // non-cachable accesses sent straight to the bus
+
+	// Fault-injection counters (always zero without injection).
+	FaultInvalidates uint64 // lines spuriously invalidated via InjectInvalidate
+	FaultStaleFlips  uint64 // line data perturbed via InjectStale
 }
 
 // MissRatio returns 1 - hits/accesses over reads and writes (Test-and-Sets
@@ -930,6 +934,43 @@ func (c *Cache) ObserveReadData(a bus.Addr, d bus.Word, source int) {
 		ln.data = d
 		c.stats.Snarfs++
 	}
+}
+
+// --- fault-injection port (driven by internal/fault) ---
+
+// InjectInvalidate spuriously drops the line holding a, modeling a tag or
+// state-bit upset: the frame goes Invalid with no write-back, so a dirty
+// Local value is silently lost. It reports whether a valid line was hit.
+// The presence table is kept exact, and the plan memo is discarded, so the
+// perturbed cache behaves exactly as if it never held the line.
+func (c *Cache) InjectInvalidate(a bus.Addr) bool {
+	ln := c.lookup(a)
+	if ln == nil {
+		return false
+	}
+	c.mutated()
+	ln.valid = false
+	ln.dirty = false
+	if c.pres != nil {
+		c.pres.Remove(a, c.id)
+	}
+	c.stats.FaultInvalidates++
+	return true
+}
+
+// InjectStale XORs mask into the cached data of the line holding a,
+// modeling a data-array bit upset: the state machinery is untouched, only
+// the value the cache will serve (or write back) is wrong. It reports
+// whether a valid line was hit.
+func (c *Cache) InjectStale(a bus.Addr, mask bus.Word) bool {
+	ln := c.lookup(a)
+	if ln == nil {
+		return false
+	}
+	c.mutated()
+	ln.data ^= mask
+	c.stats.FaultStaleFlips++
+	return true
 }
 
 // Contents returns every valid line (address, state, value), used by the

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 // PrintLoop leaks map order straight to stdout.
@@ -165,4 +166,24 @@ func (s *hybridStore) SnapshotSorted() []uint32 {
 	}
 	sort.Slice(addrs[start:], func(i, j int) bool { return addrs[start+i] < addrs[start+j] })
 	return addrs
+}
+
+// PlanFaultTrigger is the fault-plan idiom internal/fault uses: every
+// quantity of a fault plan is drawn from a workload.RNG stream derived
+// purely from the trial seed, so the same seed replans the same fault
+// forever. This must stay silent.
+func PlanFaultTrigger(trialSeed, refCycles uint64) uint64 {
+	rng := workload.NewRNG(trialSeed*0x9e3779b97f4a7c15 + 1)
+	lo := refCycles/10 + 1
+	hi := refCycles*3/4 + 2
+	return lo + rng.Uint64()%(hi-lo)
+}
+
+// PlanFaultTriggerWallClock seeds the plan from the wall clock: the
+// "same" campaign injects a different fault every run, so no report is
+// reproducible and no divergence is attributable.
+func PlanFaultTriggerWallClock(refCycles uint64) uint64 {
+	seed := uint64(time.Now().UnixNano()) // want: wall-clock input
+	rng := workload.NewRNG(seed)
+	return 1 + rng.Uint64()%refCycles
 }

@@ -10,6 +10,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bus"
 	"repro/internal/cache"
@@ -42,12 +43,16 @@ type Config struct {
 	// assume. It costs two bus transactions per attempt (failed attempts
 	// included), making the TTS optimization even more valuable.
 	TwoPhaseRMW bool
-	// WatchdogCycles, when nonzero, aborts the run with a StallError if
-	// any PE stays blocked on one memory operation for more than this
-	// many cycles — the symptom of a protocol or arbitration deadlock.
-	// In a correct machine a blocked PE always progresses within a few
-	// cycles times the contention, so generous values (say 100000) never
-	// fire spuriously.
+	// StallCycles, when nonzero, aborts the run with a StallError if any
+	// PE stays blocked on one memory operation for more than this many
+	// cycles — the symptom of a protocol or arbitration deadlock. In a
+	// correct machine a blocked PE always progresses within a few cycles
+	// times the contention, so generous values (say 100000) never fire
+	// spuriously; fault-injection runs use tighter values so a wedged
+	// transaction is *detected* rather than spun on forever.
+	StallCycles uint64
+	// WatchdogCycles is the older name for StallCycles, honored when
+	// StallCycles is zero.
 	WatchdogCycles uint64
 }
 
@@ -63,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Buses == 0 {
 		c.Buses = 1
+	}
+	if c.StallCycles == 0 {
+		c.StallCycles = c.WatchdogCycles
 	}
 	return c
 }
@@ -85,15 +93,20 @@ func (e *ConsistencyError) Error() string {
 // StallError reports a watchdog trip: a processor made no progress on one
 // blocked memory operation for the configured number of cycles.
 type StallError struct {
-	Cycle   uint64
-	PE      int
-	Since   uint64 // cycle the operation was issued
-	Pending string // the cache's pending-transaction view, for diagnosis
+	Cycle    uint64 // cycle the watchdog tripped (the wedging was noticed)
+	PE       int
+	Since    uint64 // cycle the operation was issued
+	Pending  string // the cache's pending-transaction view, for diagnosis
+	BusState string // per-bank arbiter and lock-register snapshot at trip time
 }
 
 func (e *StallError) Error() string {
-	return fmt.Sprintf("machine: watchdog: PE%d blocked since cycle %d (now %d); cache state: %s",
+	s := fmt.Sprintf("machine: watchdog: PE%d blocked since cycle %d, wedged at cycle %d; cache state: %s",
 		e.PE, e.Since, e.Cycle, e.Pending)
+	if e.BusState != "" {
+		s += "; bus state: " + e.BusState
+	}
+	return s
 }
 
 // pristineMem interposes on the bus's memory port to record each word's
@@ -323,21 +336,43 @@ func (m *Machine) Step() error {
 		}
 	}
 
-	// Watchdog: a PE stuck on one operation signals a machine bug.
-	if m.cfg.WatchdogCycles > 0 && m.err == nil {
+	// Watchdog: a PE stuck on one operation signals a machine bug (or, in
+	// a fault-injection run, a detected fault).
+	if m.cfg.StallCycles > 0 && m.err == nil {
 		for i, since := range m.issueCycle {
-			if since > 0 && m.cycle-since > m.cfg.WatchdogCycles {
+			if since > 0 && m.cycle-since > m.cfg.StallCycles {
 				addr, wants := m.caches[i].WantsBus()
 				m.err = &StallError{
 					Cycle: m.cycle, PE: i, Since: since,
 					Pending: fmt.Sprintf("%s (wantsBus=%v addr=%d priority=%v)",
 						m.caches[i].PendingString(), wants, addr, m.caches[i].NeedsPriority()),
+					BusState: m.busStateDump(),
 				}
 				break
 			}
 		}
 	}
 	return m.err
+}
+
+// busStateDump renders each bank's arbiter and lock-register state for the
+// watchdog's StallError: which sources are still waiting and who, if
+// anyone, wedged the lock.
+func (m *Machine) busStateDump() string {
+	var sb strings.Builder
+	for i := 0; i < m.buses.Len(); i++ {
+		b := m.buses.Bus(i)
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "bus%d: cycle=%d pending=%d lock=", i, b.Cycle(), b.PendingLen())
+		if holder, addr := b.Locked(); holder == -1 {
+			sb.WriteString("free")
+		} else {
+			fmt.Fprintf(&sb, "PE%d@addr%d", holder, addr)
+		}
+	}
+	return sb.String()
 }
 
 // deliver completes PE i's blocked operation, recording its miss latency
@@ -407,13 +442,15 @@ func (m *Machine) RunFor(n uint64) error {
 	return nil
 }
 
-// VerifyFinalMemory checks, after the machine is Done, that draining every
-// dirty cache line into memory yields exactly the oracle's view — the
-// whole-run analogue of the Section 4 lemma's "latest value" clause. It
-// does not modify the simulated memory.
-func (m *Machine) VerifyFinalMemory() error {
+// FinalImage returns the machine's final memory image after it is Done:
+// the shared memory contents with every dirty cache line drained on top —
+// what a clean shutdown (write back everything, power off) would leave in
+// memory. It errors if two caches both hold the same address dirty, a
+// state no fault-free protocol can reach (the Section 4 lemma guarantees
+// at most one Local owner). It does not modify the simulated memory.
+func (m *Machine) FinalImage() (map[bus.Addr]bus.Word, error) {
 	if !m.Done() {
-		return fmt.Errorf("machine: VerifyFinalMemory before Done")
+		return nil, fmt.Errorf("machine: FinalImage before Done")
 	}
 	final := m.mem.Snapshot()
 	if m.dirtyOwners == nil {
@@ -424,12 +461,24 @@ func (m *Machine) VerifyFinalMemory() error {
 		for _, e := range c.Entries() {
 			if e.Dirty {
 				if prev, dup := m.dirtyOwners[e.Addr]; dup {
-					return fmt.Errorf("machine: caches %d and %d both hold addr %d dirty", prev, i, e.Addr)
+					return nil, fmt.Errorf("machine: caches %d and %d both hold addr %d dirty", prev, i, e.Addr)
 				}
 				m.dirtyOwners[e.Addr] = i
 				final[e.Addr] = e.Data
 			}
 		}
+	}
+	return final, nil
+}
+
+// VerifyFinalMemory checks, after the machine is Done, that draining every
+// dirty cache line into memory yields exactly the oracle's view — the
+// whole-run analogue of the Section 4 lemma's "latest value" clause. It
+// does not modify the simulated memory.
+func (m *Machine) VerifyFinalMemory() error {
+	final, err := m.FinalImage()
+	if err != nil {
+		return err
 	}
 	// Compare against the oracle on every address it knows; Range walks in
 	// ascending address order, so the first mismatch reported is
@@ -443,6 +492,37 @@ func (m *Machine) VerifyFinalMemory() error {
 		return true
 	})
 	return verr
+}
+
+// AuditFinalCoherence checks, after the machine is Done, that every valid
+// cache line still holds the latest value in serialization order — the
+// final-state coherence audit of the fault-injection layer. Every protocol
+// in this repo maintains the invariant fault-free (invalidation-based
+// schemes remove stale copies; RWB updates them in place), so any surviving
+// stale copy is the footprint of an injected (or real) fault. Requires
+// Config.CheckConsistency, which populates the oracle the audit reads.
+func (m *Machine) AuditFinalCoherence() error {
+	if !m.Done() {
+		return fmt.Errorf("machine: AuditFinalCoherence before Done")
+	}
+	if !m.cfg.CheckConsistency {
+		return fmt.Errorf("machine: AuditFinalCoherence without CheckConsistency")
+	}
+	for i, c := range m.caches {
+		for _, e := range c.Entries() {
+			if e.State == coherence.Invalid {
+				// The frame is occupied but the copy is dead (a snooped
+				// invalidation leaves the tag in place); its data can never
+				// be served, so it is exempt from the audit.
+				continue
+			}
+			if want := m.latest(e.Addr); e.Data != want {
+				return fmt.Errorf("machine: coherence audit: cache %d holds addr %d = %d (%v, dirty=%v), latest written is %d",
+					i, e.Addr, e.Data, e.State, e.Dirty, want)
+			}
+		}
+	}
+	return nil
 }
 
 // Metrics is an aggregate snapshot of the whole machine.

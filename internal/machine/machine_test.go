@@ -497,6 +497,76 @@ func TestWatchdogNamesWedgedTransaction(t *testing.T) {
 	}
 }
 
+// TestStallErrorBusStateDump wedges the bus via the lock register and
+// checks the StallError carries the wedging cycle number and a bus-state
+// dump naming the stuck lock holder — the diagnostics that turn a watchdog
+// trip from "it hung" into "PE1 still holds the lock on addr 7". Also
+// exercises Config.StallCycles, the canonical name for the threshold.
+func TestStallErrorBusStateDump(t *testing.T) {
+	const lockAddr = bus.Addr(7)
+	agents := []workload.Agent{&spinWriter{addr: lockAddr}}
+	m := MustNew(Config{StallCycles: 50}, agents)
+	wedge := &lockWedge{addr: lockAddr}
+	m.buses.AttachRequester(len(agents), wedge)
+	m.buses.RequestSlot(lockAddr, len(agents))
+
+	_, err := m.Run(100_000)
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("err = %v, want StallError (StallCycles threshold did not arm the watchdog)", err)
+	}
+	if se.Cycle == 0 || se.Since == 0 || se.Cycle <= se.Since {
+		t.Fatalf("wedging cycle numbers malformed: Cycle=%d Since=%d", se.Cycle, se.Since)
+	}
+	if se.BusState == "" {
+		t.Fatal("StallError.BusState is empty")
+	}
+	// The dump names the wedged lock: held by the rogue requester (source
+	// 1) on addr 7, with the spinning PE's request line still pending.
+	if want := "lock=PE1@addr7"; !strings.Contains(se.BusState, want) {
+		t.Fatalf("BusState = %q, does not name the lock holder %q", se.BusState, want)
+	}
+	if !strings.Contains(se.BusState, "pending=") {
+		t.Fatalf("BusState = %q, has no pending-request count", se.BusState)
+	}
+	msg := se.Error()
+	for _, want := range []string{"wedged at cycle", "bus state:", "lock=PE1@addr7"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+// TestAuditFinalCoherenceFaultFree pins the audit's invariant on every
+// protocol: fault-free, no valid cache line ever outlives the latest value
+// of its address, so the final-state coherence audit must pass. This is
+// what licenses the fault layer to treat an audit failure as a detection.
+func TestAuditFinalCoherenceFaultFree(t *testing.T) {
+	for _, k := range coherence.Kinds() {
+		proto := coherence.New(k)
+		t.Run(proto.Name(), func(t *testing.T) {
+			agents := []workload.Agent{
+				workload.NewRandom(0, 32, 400, 0.5, 0.3, 1),
+				workload.NewRandom(0, 32, 400, 0.5, 0.3, 2),
+				workload.NewRandom(0, 32, 400, 0.5, 0.3, 3),
+			}
+			m := MustNew(Config{Protocol: proto, CacheLines: 16, CheckConsistency: true, StallCycles: 200000}, agents)
+			if _, err := m.Run(2_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !m.Done() {
+				t.Fatal("machine did not drain")
+			}
+			if err := m.VerifyFinalMemory(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.AuditFinalCoherence(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestPristineMemRMWSameCycle pins the oracle's pre-first-write record
 // under the hard case it exists for: an RMW's lock write lands in memory
 // within the same bus cycle that sampled the old value, so by the time

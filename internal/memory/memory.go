@@ -59,9 +59,10 @@ func (p *page) mark(o uint32) {
 
 // Stats counts memory port activity.
 type Stats struct {
-	Reads   uint64
-	Writes  uint64
-	Corrupt uint64 // words deliberately corrupted via Corrupt
+	Reads      uint64
+	Writes     uint64
+	Corrupt    uint64 // words deliberately corrupted via Corrupt
+	LostWrites uint64 // bus writes swallowed by the write interceptor
 }
 
 // Memory is a dense word-addressed store (with a sparse fallback for
@@ -73,6 +74,12 @@ type Memory struct {
 	pages  []*page               // directory, indexed by addr >> pageBits
 	sparse map[bus.Addr]bus.Word // addresses >= denseLimit; nil until needed
 	stats  Stats
+
+	// onWrite, when non-nil, is consulted on every bus-visible WriteWord;
+	// returning true swallows the write (a "lost write" fault). Nil — the
+	// default — keeps the store path a single pointer test. Poke and
+	// Corrupt bypass it: they model harness actions, not bus traffic.
+	onWrite func(a bus.Addr, w bus.Word) bool
 }
 
 // New returns an empty memory.
@@ -141,7 +148,17 @@ func (m *Memory) ReadWord(a bus.Addr) bus.Word {
 // WriteWord implements bus.Memory.
 func (m *Memory) WriteWord(a bus.Addr, w bus.Word) {
 	m.stats.Writes++
+	if m.onWrite != nil && m.onWrite(a, w) {
+		m.stats.LostWrites++
+		return
+	}
 	m.store(a, w)
+}
+
+// SetWriteInterceptor installs (or, with nil, removes) the lost-write
+// fault hook consulted by WriteWord.
+func (m *Memory) SetWriteInterceptor(f func(a bus.Addr, w bus.Word) bool) {
+	m.onWrite = f
 }
 
 // Peek returns the stored word without counting a port access; simulation

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -45,6 +46,10 @@ type Options struct {
 	Events io.Writer
 	// Runner executes jobs; nil means ExperimentRunner.
 	Runner Runner
+	// JobTimeout, when positive, bounds each job's wall-clock time. A job
+	// that exceeds it is marked failed with a TimeoutError (its goroutine
+	// is abandoned, not killed) and the sweep continues.
+	JobTimeout time.Duration
 }
 
 // Engine runs sweeps.
@@ -69,7 +74,7 @@ func New(opts Options) *Engine {
 
 // Event is one progress record on the Events stream.
 type Event struct {
-	Event      string  `json:"event"` // "start", "done", "sweep"
+	Event      string  `json:"event"` // "start", "done", "failed", "sweep"
 	Job        int     `json:"job,omitempty"`
 	Key        string  `json:"key,omitempty"`
 	Experiment string  `json:"experiment,omitempty"`
@@ -80,6 +85,10 @@ type Event struct {
 	Jobs       int     `json:"jobs,omitempty"`
 	Executed   int     `json:"executed,omitempty"`
 	CacheHits  int     `json:"cache_hits,omitempty"`
+	Failed     int     `json:"failed,omitempty"`
+	// Error carries a failed job's full error text — for panics that
+	// includes the recovered value and the worker's stack trace.
+	Error string `json:"error,omitempty"`
 }
 
 // JobResult pairs a job with its table.
@@ -111,6 +120,12 @@ type Outcome struct {
 	// served from the store.
 	Executed  int
 	CacheHits int
+	// Failed lists jobs that panicked or timed out, in canonical job
+	// order. When non-empty, Run also returns a *FailureSummary error;
+	// the successful jobs' results are still present (their Outcome
+	// entries are filled and their objects are in the store), and specs
+	// none of whose jobs succeeded have a nil entry in Tables.
+	Failed []JobFailure
 	// Wall is the sweep's end-to-end latency.
 	Wall time.Duration
 	// Stats breaks the sweep down per input spec, in spec order.
@@ -155,6 +170,7 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
 	}
 
 	results := make([]JobResult, len(jobs))
+	failed := make([]*JobFailure, len(jobs))
 	var (
 		mu       sync.Mutex
 		done     = make([]bool, len(jobs))
@@ -189,7 +205,9 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
 				}
 				res, err := e.runJob(jobs[i])
 				mu.Lock()
-				if err != nil {
+				if err != nil && !recoverable(err) {
+					// Infrastructure errors (store I/O, bad spec, runner
+					// errors) fail the whole sweep fast.
 					if firstErr == nil {
 						firstErr = fmt.Errorf("sweep: job %d (%s seed=%d scale=%d): %w",
 							i, jobs[i].Spec.Experiment, jobs[i].Spec.Seed, jobs[i].Spec.Scale, err)
@@ -198,13 +216,26 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
 					cancel()
 					continue
 				}
-				results[i] = res
+				if err != nil {
+					// A panic or timeout poisons only its own job: record
+					// the failure, keep draining the queue, and surface
+					// everything in the FailureSummary at the end.
+					failed[i] = &JobFailure{Job: jobs[i], Err: err}
+					results[i] = JobResult{Job: jobs[i]}
+					e.emit(Event{Event: "failed", Job: i, Key: jobs[i].Key,
+						Experiment: jobs[i].Spec.Experiment, Seed: jobs[i].Spec.Seed,
+						Scale: jobs[i].Spec.Scale, Error: err.Error()})
+				} else {
+					results[i] = res
+				}
 				done[i] = true
 				// Advance the journal frontier: lines land in canonical
-				// order no matter which worker finished when.
+				// order no matter which worker finished when. Failed jobs
+				// advance the frontier but write no line — they are not
+				// done and must re-run on resume.
 				for frontier < len(jobs) && done[frontier] {
 					j := jobs[frontier]
-					if !journaled[j.Key] {
+					if failed[frontier] == nil && !journaled[j.Key] {
 						line := JournalLine{
 							Key:        j.Key,
 							Experiment: j.Spec.Experiment,
@@ -234,18 +265,25 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
 	}
 
 	out := &Outcome{Jobs: results, Wall: wallNow().Sub(start)}
-	for _, r := range results {
-		if r.Cached {
+	for i, r := range results {
+		switch {
+		case failed[i] != nil:
+			out.Failed = append(out.Failed, *failed[i])
+		case r.Cached:
 			out.CacheHits++
-		} else {
+		default:
 			out.Executed++
 		}
 	}
-	if err := e.merge(out, specs, results); err != nil {
+	if err := e.merge(out, specs, results, failed); err != nil {
 		return nil, err
 	}
 	e.emit(Event{Event: "sweep", Jobs: len(jobs), Executed: out.Executed,
-		CacheHits: out.CacheHits, WallMS: float64(out.Wall) / float64(time.Millisecond)})
+		CacheHits: out.CacheHits, Failed: len(out.Failed),
+		WallMS: float64(out.Wall) / float64(time.Millisecond)})
+	if len(out.Failed) > 0 {
+		return out, &FailureSummary{Failures: out.Failed}
+	}
 	return out, nil
 }
 
@@ -265,7 +303,7 @@ func (e *Engine) runJob(j Job) (JobResult, error) {
 		table = res.Table
 		cached = true
 	} else {
-		table, err = e.opts.Runner(j.Spec)
+		table, err = e.callRunner(j.Spec)
 		if err != nil {
 			return JobResult{}, err
 		}
@@ -283,12 +321,53 @@ func (e *Engine) runJob(j Job) (JobResult, error) {
 	return JobResult{Job: j, Table: table, Cached: cached, Wall: wall}, nil
 }
 
+// callRunner executes the configured Runner with panic recovery and,
+// when Options.JobTimeout is set, a wall-clock budget. A recovered panic
+// comes back as a *PanicError carrying the stack; a budget overrun comes
+// back as a *TimeoutError (the runner goroutine is abandoned — Go cannot
+// kill it — and its eventual result is discarded).
+func (e *Engine) callRunner(spec JobSpec) (*report.Table, error) {
+	run := func() (t *report.Table, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return e.opts.Runner(spec)
+	}
+	if e.opts.JobTimeout <= 0 {
+		return run()
+	}
+	type answer struct {
+		table *report.Table
+		err   error
+	}
+	ch := make(chan answer, 1)
+	go func() {
+		t, err := run()
+		ch <- answer{t, err}
+	}()
+	timer := time.NewTimer(e.opts.JobTimeout)
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		return a.table, a.err
+	case <-timer.C:
+		return nil, &TimeoutError{After: e.opts.JobTimeout}
+	}
+}
+
 // merge regroups replicas by input spec, aggregates them, and fills the
 // per-spec statistics — all in spec order, so the merged output is
-// independent of scheduling.
-func (e *Engine) merge(out *Outcome, specs []Spec, results []JobResult) error {
+// independent of scheduling. Failed jobs contribute no replica; a spec
+// none of whose jobs succeeded gets a nil table (Tables stays aligned
+// with specs, and Run returns a FailureSummary alongside the outcome).
+func (e *Engine) merge(out *Outcome, specs []Spec, results []JobResult, failed []*JobFailure) error {
 	bySpec := make([][]JobResult, len(specs))
-	for _, r := range results {
+	for i, r := range results {
+		if failed[i] != nil {
+			continue
+		}
 		bySpec[r.Job.SpecIndex] = append(bySpec[r.Job.SpecIndex], r)
 	}
 	for si := range specs {
@@ -304,9 +383,13 @@ func (e *Engine) merge(out *Outcome, specs []Spec, results []JobResult) error {
 				stat.Executed++
 			}
 		}
-		merged, err := Aggregate(tables)
-		if err != nil {
-			return fmt.Errorf("sweep: aggregating %s: %w", specs[si].Experiment, err)
+		var merged *report.Table
+		if len(tables) > 0 {
+			var err error
+			merged, err = Aggregate(tables)
+			if err != nil {
+				return fmt.Errorf("sweep: aggregating %s: %w", specs[si].Experiment, err)
+			}
 		}
 		out.Tables = append(out.Tables, merged)
 		out.Stats = append(out.Stats, stat)

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,8 +17,9 @@ import (
 
 // storeVersion is written to the store's VERSION file. A directory whose
 // version does not match is cleared: its objects were produced by an
-// incompatible layout and must not be served.
-const storeVersion = "sweep-store-v1"
+// incompatible layout and must not be served. v2 wraps every object in a
+// SHA-256-checksummed envelope.
+const storeVersion = "sweep-store-v2"
 
 // Result is one memoized job output.
 type Result struct {
@@ -133,14 +136,32 @@ func (m *MemStore) JournalBytes() []byte {
 // DirStore is the on-disk Store:
 //
 //	<dir>/VERSION          store-layout version stamp
-//	<dir>/objects/<key>.json   one memoized Result per job key
+//	<dir>/objects/<key>.json   one checksummed Result envelope per job key
+//	<dir>/quarantine/      corrupt objects moved aside for post-mortem
 //	<dir>/journal.jsonl    completion journal, canonical order
 //
 // Objects are written atomically (temp file + rename), so an interrupted
 // sweep leaves only whole objects; the journal is append-only and a torn
 // final line is ignored on load.
+//
+// Every object is an envelope {sha256, result}: Get recomputes the
+// payload hash and refuses to serve an entry whose bytes don't verify —
+// truncation, a flipped bit, or a hand-edited file all classify as
+// corruption. Corrupt entries are moved to quarantine/ (never deleted,
+// never served) and the job transparently re-runs.
 type DirStore struct {
 	dir string
+
+	mu sync.Mutex
+	// quarantined counts objects moved aside by this process.
+	quarantined int
+}
+
+// envelope is the on-disk object framing: the Result payload plus the
+// hex SHA-256 of its exact bytes.
+type envelope struct {
+	SHA256 string          `json:"sha256"`
+	Result json.RawMessage `json:"result"`
 }
 
 // OpenDirStore opens (or initializes) the store rooted at dir. A store
@@ -159,6 +180,9 @@ func OpenDirStore(dir string) (*DirStore, error) {
 	case strings.TrimSpace(string(data)) != storeVersion:
 		// Incompatible layout: drop the stale artifacts.
 		if err := os.RemoveAll(filepath.Join(dir, "objects")); err != nil {
+			return nil, err
+		}
+		if err := os.RemoveAll(filepath.Join(dir, "quarantine")); err != nil {
 			return nil, err
 		}
 		if err := os.Remove(filepath.Join(dir, "journal.jsonl")); err != nil && !errors.Is(err, fs.ErrNotExist) {
@@ -189,7 +213,9 @@ func (d *DirStore) JournalPath() string {
 	return filepath.Join(d.dir, "journal.jsonl")
 }
 
-// Get implements Store.
+// Get implements Store. An entry that fails to parse or whose payload
+// bytes don't match the recorded SHA-256 is quarantined and reported as
+// a miss — a corrupt cache entry is never silently loaded.
 func (d *DirStore) Get(key string) (*Result, bool, error) {
 	data, err := os.ReadFile(d.objectPath(key))
 	if errors.Is(err, fs.ErrNotExist) {
@@ -198,17 +224,59 @@ func (d *DirStore) Get(key string) (*Result, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		// Truncated or torn object (hard kill mid-write, disk damage).
+		return nil, false, d.quarantine(key)
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		// Bit rot or tampering: the payload no longer matches its hash.
+		return nil, false, d.quarantine(key)
+	}
 	var res Result
-	if err := json.Unmarshal(data, &res); err != nil {
-		// A torn object from a hard kill: treat as a miss and re-run.
-		return nil, false, nil
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		return nil, false, d.quarantine(key)
 	}
 	return &res, true, nil
 }
 
+// quarantine moves a corrupt object out of objects/ so it can never be
+// served again but stays on disk for inspection; the caller's job
+// recomputes and re-Puts a fresh entry.
+func (d *DirStore) quarantine(key string) error {
+	qdir := filepath.Join(d.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(d.objectPath(key), filepath.Join(qdir, key+".json")); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.quarantined++
+	d.mu.Unlock()
+	return nil
+}
+
+// Quarantined returns how many corrupt objects this process has moved to
+// quarantine/.
+func (d *DirStore) Quarantined() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.quarantined
+}
+
 // Put implements Store.
 func (d *DirStore) Put(res *Result) error {
-	data, err := json.Marshal(res)
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(envelope{
+		SHA256: hex.EncodeToString(sum[:]),
+		Result: payload,
+	})
 	if err != nil {
 		return err
 	}

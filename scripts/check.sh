@@ -17,6 +17,9 @@
 #   8. sweep       a bounded smoke of the orchestration engine: parallel
 #                  output must be byte-identical to serial and a warm
 #                  cache must execute zero jobs
+#   9. faults      a bounded smoke of the S23 fault campaign: the report
+#                  must be byte-identical between -j1 and -j4 and no
+#                  detectable fault class may produce a silent divergence
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -48,5 +51,8 @@ go run ./cmd/modelcheck -all -n 3
 
 echo "==> sweep -smoke"
 go run ./cmd/sweep -smoke
+
+echo "==> faultcampaign -smoke"
+go run ./cmd/faultcampaign -smoke
 
 echo "==> all checks passed"
