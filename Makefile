@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race lint fuzz modelcheck fault bench bench-core fmt
+.PHONY: check build test race lint fuzz modelcheck fault bench bench-core serve loadgen bench-serve fmt
 
 check:
 	sh scripts/check.sh
@@ -43,6 +43,20 @@ bench:
 # with the speedup over the recorded pre-refactor baseline.
 bench-core:
 	sh scripts/bench.sh core
+
+# serve runs the S24 simulation-as-a-service daemon on its default
+# loopback port with an on-disk result store.
+serve:
+	$(GO) run ./cmd/mimdserved -cache-dir .servecache
+
+# loadgen drives an embedded daemon with the mixed spec set, cold then
+# warm, and writes BENCH_serve.json; `bench-serve` additionally enforces
+# the 5x warm-speedup floor (the CI perf artifact).
+loadgen:
+	$(GO) run ./cmd/loadgen
+
+bench-serve:
+	sh scripts/bench.sh serve
 
 fmt:
 	gofmt -w .

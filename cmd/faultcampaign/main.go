@@ -13,7 +13,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -97,17 +96,8 @@ func main() {
 
 	eng := sweep.New(sweep.Options{Workers: *workers, Store: store, Events: eventsW, Runner: fault.NewCellRunner(cfg)})
 	out, err := eng.Run(ctx, cfg.Specs())
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "faultcampaign: interrupted; completed cells are journaled — re-run with the same -cache-dir to resume")
-		os.Exit(130)
-	}
-	var failures *sweep.FailureSummary
-	if errors.As(err, &failures) {
-		fmt.Fprintln(os.Stderr, "faultcampaign:", failures.Error())
-		os.Exit(1)
-	}
-	if err != nil {
-		fatal(err)
+	if code := sweep.ReportRunError(os.Stderr, "faultcampaign", out, err); code != 0 {
+		os.Exit(code)
 	}
 
 	report, err := fault.RenderReport(cfg, out, *format)
@@ -140,46 +130,35 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// buildConfig assembles and validates the campaign config from flags.
+// buildConfig assembles the flags into a fault.CampaignSpec — the same
+// JSON-shaped spec the S24 service layer accepts — and resolves it.
 func buildConfig(protocols, classes, seedList string, trials, refs, pes int) (fault.CampaignConfig, error) {
-	cfg := fault.CampaignConfig{Trials: trials}
-	cfg.Trial.Refs = refs
-	cfg.Trial.PEs = pes
-	if protocols != "" {
-		for _, p := range strings.Split(protocols, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				cfg.Protocols = append(cfg.Protocols, p)
-			}
-		}
+	spec := fault.CampaignSpec{
+		Protocols: splitList(protocols),
+		Classes:   splitList(classes),
+		Trials:    trials,
+		Refs:      refs,
+		PEs:       pes,
 	}
-	if classes != "" {
-		for _, name := range strings.Split(classes, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
-			}
-			c, err := fault.ParseClass(name)
-			if err != nil {
-				return cfg, err
-			}
-			cfg.Classes = append(cfg.Classes, c)
-		}
-	}
-	for _, part := range strings.Split(seedList, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
+	for _, part := range splitList(seedList) {
 		v, err := strconv.ParseUint(part, 10, 64)
 		if err != nil {
-			return cfg, fmt.Errorf("bad seed %q: %v", part, err)
+			return fault.CampaignConfig{}, fmt.Errorf("bad seed %q: %v", part, err)
 		}
-		cfg.Seeds = append(cfg.Seeds, v)
+		spec.Seeds = append(spec.Seeds, v)
 	}
-	if err := cfg.Validate(); err != nil {
-		return cfg, err
+	return spec.Config()
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(list string) []string {
+	var out []string
+	for _, part := range strings.Split(list, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
 	}
-	return cfg, nil
+	return out
 }
 
 // runSmoke is the CI gate: a small campaign run serially and in parallel

@@ -1,0 +1,357 @@
+// Command loadgen is the closed-loop load generator for mimdserved. It
+// drives a mixed spec set (quick experiments, a multi-experiment sweep,
+// and a small fault campaign) at a target concurrency, first against a
+// cold store and then again warm, and emits BENCH_serve.json with
+// latency percentiles, throughput, the warm/cold speedup, and the
+// server's own coalescing and cache counters.
+//
+// Usage:
+//
+//	loadgen                             # embedded server, c=32, n=256
+//	loadgen -c 64 -n 1024 -rps 200
+//	loadgen -url http://127.0.0.1:8471  # drive an external daemon
+//
+// The generator is deterministic: the spec mix cycles by request index
+// (no randomness), so two runs against the same store issue the same
+// byte-identical request sequence. Only 200 and 429 responses are
+// acceptable; a 429 is retried honoring Retry-After, and anything else
+// fails the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "", "drive this server instead of an embedded one")
+		conc       = flag.Int("c", 32, "closed-loop concurrency (in-flight requests)")
+		total      = flag.Int("n", 128, "requests per phase")
+		rps        = flag.Int("rps", 0, "target request rate; 0 = as fast as the loop closes")
+		outPath    = flag.String("o", "BENCH_serve.json", "where to write the JSON artifact")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail unless warm is at least this much faster than cold; 0 disables")
+		cacheDir   = flag.String("cache-dir", "", "embedded server store directory (default: a fresh temp dir, i.e. a cold start)")
+	)
+	flag.Parse()
+
+	if err := run(*url, *conc, *total, *rps, *outPath, *minSpeedup, *cacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// specMix is the deterministic request mix: six quick experiments with
+// index-cycled seeds, one multi-experiment sweep, and one small fault
+// campaign. Every spec is distinct, and each repeats n/len(mix) times
+// per phase, so the server's engine-run count must come in far under
+// the request count — that gap is the coalescing + caching evidence.
+func specMix() []string {
+	quick := []string{"fig3-1", "fig5-1", "fig6-1", "fig6-2", "fig6-3", "fig7-1"}
+	var mix []string
+	for i, id := range quick {
+		mix = append(mix, fmt.Sprintf(`{"kind":"experiment","experiment":%q,"seeds":[%d]}`, id, i%3+1))
+	}
+	mix = append(mix,
+		`{"kind":"sweep","experiments":["fig6-1","fig6-2"],"seeds":[1,2]}`,
+		`{"kind":"experiment","experiment":"fig7-1","seeds":[1,2,3]}`,
+		`{"kind":"fault","fault":{"protocols":["rb","rwb","goodman"],"classes":["bus-drop","mem-bit-flip"],"trials":2,"refs":250}}`)
+	return mix
+}
+
+// wallNow reads the wall clock for latency accounting only; no
+// simulation result ever depends on it.
+func wallNow() time.Time {
+	//lint:ignore observability-only wall time; results never depend on it
+	return time.Now()
+}
+
+// phaseStats is one phase's client-side measurements.
+type phaseStats struct {
+	WallMS        float64 `json:"wall_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Retries429    int64   `json:"retries_429"`
+}
+
+// serverCounters is the subset of /metrics the artifact records.
+type serverCounters struct {
+	EngineRuns    int64   `json:"engine_runs"`
+	Coalesced     int64   `json:"coalesced"`
+	StoreServed   int64   `json:"store_served"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	SilentFails   int64   `json:"silent_failures"`
+}
+
+// benchReport is the BENCH_serve.json schema.
+type benchReport struct {
+	Schema        string         `json:"schema"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	Concurrency   int            `json:"concurrency"`
+	RequestsPhase int            `json:"requests_per_phase"`
+	DistinctSpecs int            `json:"distinct_specs"`
+	Cold          phaseStats     `json:"cold"`
+	Warm          phaseStats     `json:"warm"`
+	Speedup       float64        `json:"warm_speedup"`
+	Server        serverCounters `json:"server"`
+}
+
+func run(url string, conc, total, rps int, outPath string, minSpeedup float64, cacheDir string) error {
+	base := url
+	if base == "" {
+		// Embedded mode: boot a daemon on a loopback port over a cold
+		// store so the cold/warm contrast is real.
+		if cacheDir == "" {
+			dir, err := os.MkdirTemp("", "loadgen-store-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			cacheDir = dir
+		}
+		store, err := sweep.OpenDirStore(cacheDir)
+		if err != nil {
+			return err
+		}
+		srv := serve.New(serve.Options{
+			Store:       store,
+			MaxInFlight: runtime.NumCPU(),
+			QueueDepth:  conc * 2,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: embedded server on %s (store %s)\n", base, cacheDir)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc,
+		MaxIdleConnsPerHost: conc,
+	}}
+	mix := specMix()
+
+	cold, err := runPhase("cold", client, base, mix, total, conc, rps)
+	if err != nil {
+		return err
+	}
+	warm, err := runPhase("warm", client, base, mix, total, conc, rps)
+	if err != nil {
+		return err
+	}
+
+	counters, err := scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	// The coalescing + caching evidence: 2·n requests hit the server but
+	// only the distinct cold specs ever reached the engine.
+	if counters.EngineRuns >= int64(2*total) {
+		return fmt.Errorf("no coalescing: %d engine runs for %d requests", counters.EngineRuns, 2*total)
+	}
+
+	rep := benchReport{
+		Schema:        "serve-bench-v1",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Concurrency:   conc,
+		RequestsPhase: total,
+		DistinctSpecs: len(mix),
+		Cold:          cold,
+		Warm:          warm,
+		Server:        counters,
+	}
+	if warm.WallMS > 0 {
+		rep.Speedup = cold.WallMS / warm.WallMS
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"loadgen: wrote %s — cold %.0fms (p95 %.1fms), warm %.0fms (p95 %.1fms), speedup %.1fx, engine runs %d for %d requests, hit ratio %.2f\n",
+		outPath, cold.WallMS, cold.P95MS, warm.WallMS, warm.P95MS, rep.Speedup,
+		counters.EngineRuns, 2*total, counters.CacheHitRatio)
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		return fmt.Errorf("warm speedup %.2fx is under the %.2fx floor", rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// runPhase issues n requests from the mix at the given concurrency and
+// aggregates client-side latency.
+func runPhase(name string, client *http.Client, base string, mix []string, n, conc, rps int) (phaseStats, error) {
+	var (
+		stats    phaseStats
+		mu       sync.Mutex
+		lats     = make([]time.Duration, 0, n)
+		retries  atomic.Int64
+		firstErr atomic.Value
+	)
+
+	// Optional open-loop pacing on top of the closed loop: a token per
+	// tick, workers block on the channel.
+	var tokens chan struct{}
+	if rps > 0 {
+		tokens = make(chan struct{}, rps)
+		tick := time.NewTicker(time.Second / time.Duration(rps))
+		defer tick.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default:
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := wallNow()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if tokens != nil {
+					<-tokens
+				}
+				lat, r429, err := issue(client, base, mix[i%len(mix)])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				retries.Add(r429)
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := wallNow().Sub(start)
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return stats, fmt.Errorf("%s phase: %v", name, err)
+	}
+	if len(lats) != n {
+		return stats, fmt.Errorf("%s phase: %d of %d requests completed", name, len(lats), n)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return ms(lats[i])
+	}
+	stats.WallMS = ms(wall)
+	stats.P50MS = pct(0.50)
+	stats.P95MS = pct(0.95)
+	stats.P99MS = pct(0.99)
+	stats.Retries429 = retries.Load()
+	if wall > 0 {
+		stats.ThroughputRPS = float64(n) / wall.Seconds()
+	}
+	return stats, nil
+}
+
+// issue sends one request, retrying 429s per their Retry-After hint.
+// Any status other than 200 or 429 is a hard failure: the server's
+// contract is "answer or shed", never drop.
+func issue(client *http.Client, base, spec string) (lat time.Duration, retries429 int64, err error) {
+	const maxAttempts = 50
+	start := wallNow()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
+		if err != nil {
+			return 0, retries429, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return wallNow().Sub(start), retries429, nil
+		case http.StatusTooManyRequests:
+			retries429++
+			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if secs < 1 {
+				secs = 1
+			}
+			time.Sleep(time.Duration(secs) * time.Second)
+		default:
+			return 0, retries429, fmt.Errorf("status %d for %s: %s", resp.StatusCode, spec, strings.TrimSpace(string(body)))
+		}
+	}
+	return 0, retries429, fmt.Errorf("still shed after %d attempts: %s", maxAttempts, spec)
+}
+
+// scrapeMetrics pulls the coalescing and cache counters out of the
+// server's Prometheus exposition.
+func scrapeMetrics(client *http.Client, base string) (serverCounters, error) {
+	var c serverCounters
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch fields[0] {
+		case "mimdserved_engine_runs_total":
+			c.EngineRuns, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdserved_coalesced_total":
+			c.Coalesced, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdserved_store_served_total":
+			c.StoreServed, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdserved_cache_hit_ratio":
+			c.CacheHitRatio, _ = strconv.ParseFloat(fields[1], 64)
+		case "mimdserved_silent_failures_total":
+			c.SilentFails, _ = strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,202 @@
+// Command mimdserved is the S24 simulation-as-a-service daemon: an HTTP
+// front end over the S21 sweep engine. Clients POST experiment, sweep,
+// or fault-campaign specs as JSON; the daemon validates them against
+// the registries, coalesces identical concurrent submissions, executes
+// them behind an admission controller (bounded queue, 429 +
+// Retry-After on overload), serves repeats straight from the result
+// store, and streams progress as SSE or JSONL.
+//
+// Usage:
+//
+//	mimdserved -addr 127.0.0.1:8471 -cache-dir .servecache
+//	mimdserved -max-inflight 4 -queue-depth 128 -job-timeout 90s
+//	mimdserved -smoke          # CI gate: boot, run, re-run from cache, drain
+//
+// SIGINT drains gracefully: new submissions are refused with 503,
+// running flights finish (or are cancelled at -drain-timeout with their
+// completed jobs journaled for resume), then the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8471", "listen address")
+		cacheDir  = flag.String("cache-dir", "", "memoize job results in this sweep store directory (empty = in-memory, no persistence)")
+		workers   = flag.Int("j", runtime.NumCPU(), "worker pool size per engine run")
+		inflight  = flag.Int("max-inflight", 2, "max concurrent engine runs")
+		queue     = flag.Int("queue-depth", 64, "max submissions waiting for a run slot before 429s; negative = no queue")
+		jobTO     = flag.Duration("job-timeout", 0, "per-job wall-clock budget; requests may lower it but never raise it; 0 disables")
+		retryHint = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		maxJobs   = flag.Int("max-jobs", 10000, "reject specs expanding past this many jobs")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGINT drain waits before cancelling running flights")
+		smoke     = flag.Bool("smoke", false, "bounded self-check: boot on a loopback port, run an experiment, verify the cache hit and a clean drain")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "mimdserved -smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("mimdserved smoke ok: cold run executed, warm run served from cache, metrics and drain verified")
+		return
+	}
+
+	opts := serve.Options{
+		Workers:     *workers,
+		MaxInFlight: *inflight,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTO,
+		RetryAfter:  *retryHint,
+		MaxJobs:     *maxJobs,
+	}
+	if *cacheDir != "" {
+		ds, err := sweep.OpenDirStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = ds
+	}
+	srv := serve.New(opts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// SIGINT starts the drain; a second ^C kills the process the usual
+	// way once stop() restores default handling.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	errs := make(chan error, 1)
+	go func() { errs <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "mimdserved: listening on http://%s (store=%s inflight=%d queue=%d)\n",
+		ln.Addr(), storeDesc(*cacheDir), *inflight, *queue)
+
+	select {
+	case err := <-errs:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "mimdserved: draining (new submissions get 503; ^C again to kill)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "mimdserved: drain deadline hit; running flights cancelled, completed jobs are journaled for resume")
+	}
+	hs.Shutdown(context.Background())
+	fmt.Fprintln(os.Stderr, "mimdserved: stopped")
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mimdserved:", err)
+	os.Exit(1)
+}
+
+// runSmoke boots the daemon on a loopback port and walks the service
+// contract end to end: a cold run executes, an identical warm run is a
+// pure cache hit with identical tables, /healthz and /metrics answer,
+// and the drain completes cleanly.
+func runSmoke() error {
+	srv := serve.New(serve.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	spec := `{"kind":"experiment","experiment":"fig7-1","seeds":[1,2]}`
+	cold, err := postRun(base, spec)
+	if err != nil {
+		return err
+	}
+	if cold.Cache != "miss" || cold.Executed == 0 || len(cold.Tables) != 1 {
+		return fmt.Errorf("cold run: want a full miss with one table, got %+v", cold)
+	}
+	warm, err := postRun(base, spec)
+	if err != nil {
+		return err
+	}
+	if warm.Cache != "hit" || warm.Executed != 0 {
+		return fmt.Errorf("warm run: want a pure cache hit, got cache=%s executed=%d", warm.Cache, warm.Executed)
+	}
+	if warm.Tables[0] != cold.Tables[0] {
+		return fmt.Errorf("warm table differs from cold")
+	}
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", hresp.StatusCode)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"mimdserved_engine_runs_total 1", "mimdserved_store_served_total 1", "mimdserved_cache_hit_ratio"} {
+		if !strings.Contains(string(mbody), want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %v", err)
+	}
+	return hs.Shutdown(context.Background())
+}
+
+// postRun submits a spec to /v1/run and decodes the result document.
+func postRun(base, spec string) (serve.Response, error) {
+	var out serve.Response
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("decoding /v1/run response (status %d): %v", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("/v1/run: status %d: %s", resp.StatusCode, out.Error)
+	}
+	return out, nil
+}

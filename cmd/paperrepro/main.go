@@ -17,7 +17,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -106,21 +105,11 @@ func main() {
 
 	eng := sweep.New(sweep.Options{Workers: *jobs, Store: store})
 	out, err := eng.Run(ctx, specs)
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "paperrepro: interrupted; completed artifacts are journaled — re-run with the same -cache-dir to resume")
-		os.Exit(130)
-	}
-	var failures *sweep.FailureSummary
-	if errors.As(err, &failures) {
-		// An artifact panicked or timed out: report what failed, keep the
-		// partial results in the store, and exit non-zero — never print a
-		// partial artifact set as if it were the paper.
-		fmt.Fprintln(os.Stderr, "paperrepro:", failures.Error())
-		os.Exit(1)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// Failures (an artifact panicked or timed out) exit non-zero with the
+	// same rendering every sweep-backed CLI uses — never print a partial
+	// artifact set as if it were the paper.
+	if code := sweep.ReportRunError(os.Stderr, "paperrepro", out, err); code != 0 {
+		os.Exit(code)
 	}
 
 	for i, tb := range out.Tables {

@@ -17,7 +17,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -136,21 +135,8 @@ func main() {
 
 	eng := sweep.New(sweep.Options{Workers: *workers, Store: store, Events: eventsW, JobTimeout: *jobTO})
 	out, err := eng.Run(ctx, specs)
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "sweep: interrupted; completed jobs are journaled — re-run with the same -cache-dir to resume")
-		os.Exit(130)
-	}
-	var failures *sweep.FailureSummary
-	if errors.As(err, &failures) {
-		// Per-job failures (panics, timeouts): successful jobs are in the
-		// store; report every failure and exit non-zero.
-		fmt.Fprintln(os.Stderr, "sweep:", failures.Error())
-		fmt.Fprintf(os.Stderr, "sweep: %d of %d job(s) completed and are journaled; re-run to retry the failures\n",
-			len(out.Jobs)-len(out.Failed), len(out.Jobs))
-		os.Exit(1)
-	}
-	if err != nil {
-		fatal(err)
+	if code := sweep.ReportRunError(os.Stderr, "sweep", out, err); code != 0 {
+		os.Exit(code)
 	}
 	for i, tb := range out.Tables {
 		if i > 0 {

@@ -92,16 +92,19 @@ func ParseCellID(id string) (protocol string, class Class, err error) {
 // seed) cell in protocol-major order. Each spec carries exactly one seed,
 // so the engine's per-spec aggregation is a pass-through and every cell
 // table survives verbatim into the outcome — the matrix is built from
-// those, not from mean±stddev blends.
+// those, not from mean±stddev blends. The spec version is
+// ConfigVersion(c): the cache epoch is salted by the trial shape, so
+// campaigns of different shapes never share memoized cells.
 func (c CampaignConfig) Specs() []sweep.Spec {
 	cfg := c.withDefaults()
+	version := ConfigVersion(cfg)
 	var specs []sweep.Spec
 	for _, proto := range cfg.Protocols {
 		for _, class := range cfg.Classes {
 			for _, seed := range cfg.Seeds {
 				specs = append(specs, sweep.Spec{
 					Experiment: CellID(proto, class),
-					Version:    Version,
+					Version:    version,
 					Axes:       experiments.Axes{Seed: true},
 					Seeds:      []uint64{seed},
 				})

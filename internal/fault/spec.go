@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// CampaignSpec is the JSON-friendly form of CampaignConfig: the shape a
+// fault campaign takes when it arrives over the wire (the S24 service
+// layer) or from CLI flags. Zero values mean "use the campaign
+// defaults"; Config resolves and validates everything before any job is
+// expanded.
+type CampaignSpec struct {
+	// Protocols are coherence scheme names; empty means the default set.
+	Protocols []string `json:"protocols,omitempty"`
+	// Classes are fault class names (see Classes); empty means all.
+	Classes []string `json:"classes,omitempty"`
+	// Seeds are campaign workload seeds; empty means {1}.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Trials per (protocol, class, seed) cell; 0 means 4.
+	Trials int `json:"trials,omitempty"`
+	// Refs is memory references per PE per trial; 0 means 300.
+	Refs int `json:"refs,omitempty"`
+	// PEs is processing elements per trial machine; 0 means 4.
+	PEs int `json:"pes,omitempty"`
+}
+
+// Config resolves the spec into a validated CampaignConfig: class names
+// are parsed, protocol names resolved against the coherence registry,
+// and the trial shape checked, so a bad request fails before any cell
+// runs.
+func (s CampaignSpec) Config() (CampaignConfig, error) {
+	cfg := CampaignConfig{
+		Protocols: append([]string(nil), s.Protocols...),
+		Seeds:     append([]uint64(nil), s.Seeds...),
+		Trials:    s.Trials,
+	}
+	cfg.Trial.Refs = s.Refs
+	cfg.Trial.PEs = s.PEs
+	for _, name := range s.Classes {
+		c, err := ParseClass(name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Classes = append(cfg.Classes, c)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// WithDefaults returns the config with every unset field resolved to
+// its default — the exact shape Specs and NewCellRunner execute, which
+// is what request canonicalization must hash.
+func (c CampaignConfig) WithDefaults() CampaignConfig {
+	return c.withDefaults()
+}
+
+// ConfigVersion derives the campaign's cache epoch from the fault
+// layer's Version plus every trial parameter that changes cell results
+// (trials, refs, PEs, address range, cache lines, watchdog). Cell job
+// keys hash only (experiment id, version, seed), so without this salt
+// two campaigns with different trial shapes sharing one store would
+// serve each other's memoized cells.
+func ConfigVersion(c CampaignConfig) int {
+	cfg := c.withDefaults()
+	h := fnv.New32a()
+	fmt.Fprintf(h, "fault-v%d|trials=%d|refs=%d|pes=%d|addr=%d|lines=%d|stall=%d",
+		Version, cfg.Trials, cfg.Trial.Refs, cfg.Trial.PEs,
+		cfg.Trial.AddrRange, cfg.Trial.CacheLines, cfg.Trial.StallCycles)
+	// Keep it positive and clear of the hand-assigned low epochs.
+	return int(h.Sum32()&0x3fffffff) + 1000
+}

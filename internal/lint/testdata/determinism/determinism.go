@@ -5,6 +5,8 @@
 package determinism
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -186,4 +188,25 @@ func PlanFaultTriggerWallClock(refCycles uint64) uint64 {
 	seed := uint64(time.Now().UnixNano()) // want: wall-clock input
 	rng := workload.NewRNG(seed)
 	return 1 + rng.Uint64()%refCycles
+}
+
+// RequestIDFromSpec is the service-layer idiom internal/serve uses:
+// request ids are pure content hashes over the normalized spec's job
+// keys, so two clients posting the same spec compute the same id and
+// their submissions coalesce. This must stay silent.
+func RequestIDFromSpec(epoch string, jobKeys []string) string {
+	h := sha256.New()
+	io.WriteString(h, epoch)
+	for _, k := range jobKeys {
+		io.WriteString(h, "|"+k)
+	}
+	sum := h.Sum(nil)
+	return "req-" + hex.EncodeToString(sum[:12])
+}
+
+// RequestIDWallClock mints ids from the wall clock: identical
+// submissions get distinct ids, so nothing ever coalesces and the same
+// spec is simulated once per client instead of once.
+func RequestIDWallClock() string {
+	return fmt.Sprintf("req-%x", time.Now().UnixNano()) // want: wall-clock input
 }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errOverload is returned when the bounded queue is full: the caller
+// must answer 429 with a Retry-After hint rather than buffer unbounded
+// work.
+var errOverload = errors.New("serve: queue full")
+
+// admission is the overload policy: at most maxInFlight engine runs
+// execute concurrently, at most maxQueue more may wait, and anything
+// beyond that is rejected immediately. Rejection is load shedding, not
+// failure — the work is never started, so nothing is half-done.
+type admission struct {
+	sem chan struct{}
+
+	mu       sync.Mutex
+	inFlight int
+	queued   int
+	maxQueue int
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		sem:      make(chan struct{}, maxInFlight),
+		maxQueue: maxQueue,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns errOverload when the queue is full and
+// ctx.Err() when the server shuts down mid-wait. The returned release
+// must be called exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot needs no queue capacity at all (with a
+	// zero-length queue an idle server must still admit work).
+	select {
+	case a.sem <- struct{}{}:
+		a.mu.Lock()
+		a.inFlight++
+		a.mu.Unlock()
+		return a.releaseSlot, nil
+	default:
+	}
+
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return nil, errOverload
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case a.sem <- struct{}{}:
+		a.mu.Lock()
+		a.queued--
+		a.inFlight++
+		a.mu.Unlock()
+		return a.releaseSlot, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) releaseSlot() {
+	a.mu.Lock()
+	a.inFlight--
+	a.mu.Unlock()
+	<-a.sem
+}
+
+// depths reports the current in-flight and queued counts (the /metrics
+// gauges).
+func (a *admission) depths() (inFlight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight, a.queued
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"repro/internal/sweep"
+)
+
+// flight is one in-flight (or recently completed) execution of a
+// request id. Concurrent identical submissions attach to the same
+// flight — the singleflight that keeps N clients asking the same
+// question from running the engine N times — and every waiter reads the
+// same response once done closes.
+type flight struct {
+	id  string
+	req *request
+	// hub carries the engine's progress events: live while the flight
+	// runs, a full replay afterwards.
+	hub *sweep.Hub
+	// done closes after resp and code are set.
+	done chan struct{}
+	resp Response
+	code int
+}
+
+func newFlight(req *request) *flight {
+	return &flight{
+		id:   req.id,
+		req:  req,
+		hub:  sweep.NewHub(),
+		done: make(chan struct{}),
+	}
+}
+
+// finished reports whether the flight has resolved.
+func (f *flight) finished() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleJobEvents streams a flight's progress events. While the flight
+// runs the stream is live (each engine event flushed as it happens);
+// once it completes the hub replays the full history and the stream
+// ends. Content negotiation: "Accept: text/event-stream" selects SSE
+// frames, anything else gets JSON Lines.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f := s.lookup(id)
+	if f == nil {
+		s.writeError(w, http.StatusNotFound, "unknown job id "+id)
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	sub := f.hub.Subscribe()
+	for {
+		ev, ok := sub.Next(r.Context())
+		if !ok {
+			break
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			continue
+		}
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Event, data)
+		} else {
+			w.Write(append(data, '\n'))
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Terminal frame so clients can tell "complete" from "disconnected".
+	if f.finished() {
+		if sse {
+			fmt.Fprintf(w, "event: end\ndata: {\"http_code\":%d}\n\n", f.code)
+		} else {
+			fmt.Fprintf(w, "{\"event\":\"end\",\"http_code\":%d}\n", f.code)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -2,7 +2,6 @@ package sweep
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -42,8 +41,13 @@ type Options struct {
 	// Events, when non-nil, receives a live JSONL progress stream (job
 	// start/finish, wall time, cache hit/miss). Event order follows
 	// completion order, not canonical order — it is observability, not
-	// an artifact.
+	// an artifact. Internally this is NewWriterSink(Events) appended to
+	// Sink; the byte format is unchanged.
 	Events io.Writer
+	// Sink, when non-nil, receives every progress event as a value —
+	// the exported subscriber path (a Hub for fan-out/replay, or any
+	// custom EventSink). It sees the same events as the Events stream.
+	Sink EventSink
 	// Runner executes jobs; nil means ExperimentRunner.
 	Runner Runner
 	// JobTimeout, when positive, bounds each job's wall-clock time. A job
@@ -54,8 +58,8 @@ type Options struct {
 
 // Engine runs sweeps.
 type Engine struct {
-	opts     Options
-	eventsMu sync.Mutex
+	opts Options
+	sink MultiSink
 }
 
 // New builds an engine.
@@ -69,7 +73,14 @@ func New(opts Options) *Engine {
 	if opts.Runner == nil {
 		opts.Runner = ExperimentRunner
 	}
-	return &Engine{opts: opts}
+	e := &Engine{opts: opts}
+	if ws := NewWriterSink(opts.Events); ws != nil {
+		e.sink = append(e.sink, ws)
+	}
+	if opts.Sink != nil {
+		e.sink = append(e.sink, opts.Sink)
+	}
+	return e
 }
 
 // Event is one progress record on the Events stream.
@@ -140,16 +151,7 @@ func wallNow() time.Time {
 }
 
 func (e *Engine) emit(ev Event) {
-	if e.opts.Events == nil {
-		return
-	}
-	data, err := json.Marshal(ev)
-	if err != nil {
-		return
-	}
-	e.eventsMu.Lock()
-	e.opts.Events.Write(append(data, '\n'))
-	e.eventsMu.Unlock()
+	e.sink.Emit(ev)
 }
 
 // Run expands specs into jobs, executes them on the worker pool, and

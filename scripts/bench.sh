@@ -3,7 +3,8 @@
 #
 #   bench.sh [sweep] [out]       sweep-engine benchmark -> BENCH_sweep.json
 #   bench.sh core [out]          core cycle-loop benchmark -> BENCH_core.json
-#   bench.sh all                 both, default outputs
+#   bench.sh serve [out]         service-layer load test -> BENCH_serve.json
+#   bench.sh all                 all of the above, default outputs
 #
 # sweep: runs each benchmark experiment three ways — cold serial
 # (workers=1), cold parallel (workers=GOMAXPROCS), warm (parallel again
@@ -15,6 +16,12 @@
 # allocs/cycle for 1/8/64-PE machines under RB and RWB, oracle on and
 # off — and records the speedup against the recorded pre-refactor
 # baseline (schema core-bench-v1; see cmd/benchcore/main.go).
+#
+# serve: boots an embedded mimdserved over a cold store and drives the
+# mixed spec set closed-loop at concurrency 32, cold then warm, and
+# records latency percentiles, the warm/cold speedup (floor: 5x), and
+# the server's coalescing/cache counters (schema serve-bench-v1; see
+# cmd/loadgen/main.go).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,9 +39,16 @@ core | bench-core)
 	go run ./cmd/benchcore -out "$out"
 	echo "==> wrote $out"
 	;;
+serve)
+	out=${2:-BENCH_serve.json}
+	echo "==> go run ./cmd/loadgen -min-speedup 5 -o $out"
+	go run ./cmd/loadgen -min-speedup 5 -o "$out"
+	echo "==> wrote $out"
+	;;
 all)
 	sh "$0" sweep
 	sh "$0" core
+	sh "$0" serve
 	;;
 *)
 	# Backward compatibility: a bare output path means the sweep mode.
@@ -43,7 +57,7 @@ all)
 		sh "$0" sweep "$mode"
 		;;
 	*)
-		echo "bench.sh: unknown mode '$mode' (want sweep, core, or all)" >&2
+		echo "bench.sh: unknown mode '$mode' (want sweep, core, serve, or all)" >&2
 		exit 2
 		;;
 	esac

@@ -20,6 +20,9 @@
 #   9. faults      a bounded smoke of the S23 fault campaign: the report
 #                  must be byte-identical between -j1 and -j4 and no
 #                  detectable fault class may produce a silent divergence
+#  10. serve       a bounded smoke of the S24 service daemon: boot on a
+#                  loopback port, run an experiment over HTTP, verify the
+#                  identical resubmission is a pure cache hit, and drain
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -54,5 +57,8 @@ go run ./cmd/sweep -smoke
 
 echo "==> faultcampaign -smoke"
 go run ./cmd/faultcampaign -smoke
+
+echo "==> mimdserved -smoke"
+go run ./cmd/mimdserved -smoke
 
 echo "==> all checks passed"
