@@ -17,6 +17,9 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint runs every repo-local analyzer (exhaustive, determinism,
+# tableaudit, phaseaudit, allocaudit, syncaudit). Exit 0 = clean,
+# 1 = findings, 2 = the tool itself failed to load/type-check a package.
 lint:
 	$(GO) run ./cmd/protolint ./...
 

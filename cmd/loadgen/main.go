@@ -217,6 +217,7 @@ func runPhase(name string, client *http.Client, base string, mix []string, n, co
 	var tokens chan struct{}
 	if rps > 0 {
 		tokens = make(chan struct{}, rps)
+		//lint:ignore determinism open-loop pacing is wall-clock by definition; no simulation state depends on it
 		tick := time.NewTicker(time.Second / time.Duration(rps))
 		defer tick.Stop()
 		done := make(chan struct{})

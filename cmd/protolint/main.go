@@ -9,57 +9,103 @@
 //     write-through, ...) cannot silently fall through existing code;
 //   - determinism: map-iteration order must not reach simulator state,
 //     stats output or trace emission, and simulation packages must not
-//     consult time.Now or math/rand — BENCH comparisons and the
-//     Figure 6-x reproductions depend on bit-identical runs;
+//     consult time.Now, wall-clock timers or math/rand — BENCH
+//     comparisons and the Figure 6-x reproductions depend on
+//     bit-identical runs;
 //   - tableaudit: every protocol registered in coherence.Kinds() is
-//     checked for totality, reachability and outcome sanity.
+//     checked for totality, reachability and outcome sanity;
+//   - phaseaudit: //phase:bus|snoop|cpu|any annotations declare which
+//     cycle-loop phase owns each mutable simulator field, and every
+//     write reached from a phase that does not own it is flagged — the
+//     static precondition for parallelizing the core by bus bank;
+//   - allocaudit: functions marked //hotpath:allocfree may not contain
+//     heap-allocating constructs, the static twin of the runtime
+//     TestSteadyStateAllocFree pin;
+//   - syncaudit: fields accessed both atomically and plainly, and locks
+//     acquired in inconsistent order, are flagged in the concurrent
+//     harness layers (serve, sweep, fault campaigns).
 //
 // Usage:
 //
 //	protolint ./...            # analyze the whole module (run from its root)
 //	protolint ./internal/cache # one package
 //	protolint -tables=false ./...
+//	protolint -format=json ./... # one JSON object per finding (JSON Lines)
 //
-// Diagnostics print in go vet's file:line:col format. A finding can be
-// waived with a "//lint:ignore reason" comment on the flagged line or the
-// line above it. Exit status: 0 clean, 1 findings, 2 usage or load error.
+// Diagnostics print in go vet's file:line:col format; -format=json emits
+// machine-readable objects ({analyzer, file, line, col, message,
+// suppressed}) including suppressed findings, so CI annotation tooling
+// sees waivers too. A finding can be waived with a "//lint:ignore reason"
+// comment on the flagged line or the line above it ("//lint:ignore
+// <analyzer> reason" scopes the waiver to one analyzer). Exit status:
+// 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	tables := flag.Bool("tables", true, "audit the transition tables of all registered protocols")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: protolint [-tables=false] <packages> (e.g. ./...)")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its process edges cut off, so the exit-code contract
+// (0 clean, 1 findings, 2 load error) is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("protolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tables := fs.Bool("tables", true, "audit the transition tables of all registered protocols")
+	format := fs.String("format", "text", "output format: text or json (JSON Lines, includes suppressed findings)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: protolint [-tables=false] [-format=text|json] <packages> (e.g. ./...)")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "protolint: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	dirs, err := lint.ExpandPatterns(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "protolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "protolint:", err)
+		return 2
 	}
-	diags, err := lint.Run(lint.Config{Dirs: dirs, SkipTables: !*tables})
+	diags, err := lint.Run(lint.Config{
+		Dirs:              dirs,
+		SkipTables:        !*tables,
+		IncludeSuppressed: *format == "json",
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "protolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "protolint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *format == "json" {
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "protolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "protolint: %d finding(s) in %d package dir(s)\n", len(diags), len(dirs))
-		os.Exit(1)
+	// Suppressed findings are informational (json only); only live ones
+	// fail the run.
+	if n := lint.Unsuppressed(diags); n > 0 {
+		fmt.Fprintf(stderr, "protolint: %d finding(s) in %d package dir(s)\n", n, len(dirs))
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,7 @@
+// Package broken is a protolint exit-code fixture: it parses (so gofmt
+// and the repo-wide comment tooling stay happy) but fails type-checking,
+// driving the linter's loader down its error path — exit status 2,
+// distinct from exit 1 (real findings).
+package broken
+
+var X = undefinedIdentifier

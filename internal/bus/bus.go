@@ -73,8 +73,11 @@ func (o Op) String() string {
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
 
-// Request is a bus transaction supplied by a granted requester.
+// Request is a bus transaction supplied by a granted requester. The
+// arbiter stamps Source while granting, which happens only in the bus
+// phase.
 type Request struct {
+	//phase:bus
 	Source int  // requesting cache index
 	Op     Op   // transaction kind
 	Addr   Addr // word address
@@ -107,7 +110,8 @@ type Result struct {
 	// locked read of OpRMW.
 	Data Word
 	// RMWSuccess reports whether the OpRMW test (Data == 0) succeeded and
-	// the write part was performed.
+	// the write part was performed. Set by the bus-phase executor.
+	//phase:bus
 	RMWSuccess bool
 	// SharedLine reports, for OpRead, whether any other cache held a
 	// valid copy at the time of the read — the wired-OR "shared" line
@@ -121,6 +125,7 @@ type Result struct {
 type CopyHolder interface {
 	// HasCopy reports whether the cache holds a valid (non-Invalid) copy
 	// of the address.
+	//phase:bus
 	HasCopy(a Addr) bool
 }
 
@@ -131,6 +136,7 @@ type Snooper interface {
 	// holding the line in the Local state must return inhibit=true and the
 	// cached value; the bus then kills the read, writes the value through
 	// to memory, broadcasts that write, and the issuer retries.
+	//phase:bus
 	SnoopRead(addr Addr, source int) (inhibit bool, data Word)
 
 	// SnoopRMWRead is offered the locked read of an OpRMW. Unlike a plain
@@ -138,16 +144,19 @@ type Snooper interface {
 	// non-cachable read"), so a clean Local owner need not give up its
 	// state; only a *dirty* Local owner must flush so the locked read
 	// observes the latest value.
+	//phase:bus
 	SnoopRMWRead(addr Addr, source int) (flush bool, data Word)
 
 	// ObserveWrite is invoked for every OpWrite and OpInv transaction by
 	// other devices, including the flush writes generated by read
 	// interrupts.
+	//phase:bus
 	ObserveWrite(op Op, addr Addr, data Word, source int)
 
 	// ObserveReadData is invoked with the data returned by a successfully
 	// completed bus read: the broadcast that lets Invalid copies turn
 	// Readable (the heart of the RB scheme).
+	//phase:bus
 	ObserveReadData(addr Addr, data Word, source int)
 }
 
@@ -159,6 +168,7 @@ type Snooper interface {
 // longer needs the bus (for this bank), and the arbiter moves on within
 // the same cycle.
 type Requester interface {
+	//phase:bus
 	BusGrant(bank, banks int) (req Request, ok bool)
 }
 
@@ -203,9 +213,12 @@ type Injector interface {
 	OnGrant(cycle uint64, r Request) Verdict
 }
 
-// Memory is the bus's view of the shared main memory.
+// Memory is the bus's view of the shared main memory. Memory is reached
+// only through executed transactions, so both ports are bus-phase calls.
 type Memory interface {
+	//phase:bus
 	ReadWord(a Addr) Word
+	//phase:bus
 	WriteWord(a Addr, w Word)
 }
 
@@ -221,6 +234,7 @@ type StallableMemory interface {
 	// Ready reports whether the given transaction can complete now. A
 	// not-ready answer is the port's cue to start whatever upper-level
 	// work the transaction needs.
+	//phase:bus
 	Ready(r Request) bool
 }
 
@@ -234,6 +248,7 @@ type RMWMemory interface {
 	Memory
 	// RMW returns the old word; if it was 0, the set has already been
 	// performed upstream.
+	//phase:bus
 	RMW(a Addr, set Word) (old Word)
 }
 
@@ -341,13 +356,22 @@ type Bus struct {
 	// snoopers; targets is the per-transaction dispatch scratch.
 	pres    *Presence
 	idxByID []int
+	//phase:bus
 	targets []int
 
-	slots    []int  // sources with their request line asserted
-	slotted  []bool // membership view of slots, indexed by source id
-	stalled  []int  // per-Tick scratch: sources whose grant stalled this cycle
-	priority int    // source owed an immediate retry; -1 when none
-	lastWin  int    // last granted source, for round-robin rotation
+	// The request lines are asserted/deasserted by the request-line
+	// (snoop) phase and consumed by the arbiter in the bus phase, so the
+	// slot state is co-owned by both.
+	//phase:bus,snoop
+	slots []int // sources with their request line asserted
+	//phase:bus,snoop
+	slotted []bool // membership view of slots, indexed by source id
+	//phase:bus
+	stalled []int // per-Tick scratch: sources whose grant stalled this cycle
+	//phase:bus,snoop
+	priority int // source owed an immediate retry; -1 when none
+	//phase:bus
+	lastWin int // last granted source, for round-robin rotation
 
 	// Bank and Banks identify this bus's address interleave (Figure 7-1).
 	// A standalone bus serves every address: bank 0 of 1.
@@ -357,22 +381,28 @@ type Bus struct {
 	// own cycle) a memory-served transaction holds the bus. Zero matches
 	// the paper's assumption that the bus cycle accommodates the access.
 	MemLatency int
-	busyUntil  uint64 // absolute cycle until which the bus is occupied
-	cycle      uint64
+	//phase:bus
+	busyUntil uint64 // absolute cycle until which the bus is occupied
+	//phase:bus
+	cycle uint64
 
 	// Word lock for two-phase read-modify-write: the paper notes "it is
 	// generally considered too expensive to associate a lock with each
 	// memory address", so one lock register serves the whole memory (a
 	// second locker stalls until release).
+	//phase:bus
 	lockHolder int // source holding the lock; -1 when free
-	lockAddr   Addr
+	//phase:bus
+	lockAddr Addr
 
+	//phase:bus
 	stats Stats
 
 	// inj is the optional fault injector; nil (the default) keeps every
 	// hook a single pointer test. muteSnoops is set for the duration of a
 	// VerdictMute execution: gatherTargets then dispatches to nobody.
-	inj        Injector
+	inj Injector
+	//phase:bus
 	muteSnoops bool
 
 	// Trace, when non-nil, receives every completed transaction; the
@@ -400,6 +430,8 @@ func (b *Bus) Locked() (holder int, addr Addr) { return b.lockHolder, b.lockAddr
 // blockedByLock reports whether the lock register forces r to wait:
 // while a word is locked, other sources may read it but not write it,
 // RMW it, or take a new lock.
+//
+//hotpath:allocfree
 func (b *Bus) blockedByLock(r *Request) bool {
 	if b.lockHolder == -1 || r.Source == b.lockHolder {
 		return false
@@ -469,6 +501,8 @@ func (b *Bus) SetPresence(p *Presence) {
 // orders produce identical simulations — the skipped caches' callbacks
 // are no-ops, and no snoop outcome depends on visit order (at most one
 // owner can inhibit or flush).
+//
+//hotpath:allocfree
 func (b *Bus) gatherTargets(addr Addr, source int) []int {
 	t := b.targets[:0]
 	if b.muteSnoops {
@@ -531,7 +565,11 @@ func (b *Bus) requester(id int) Requester {
 // RequestSlot asserts source id's bus-request line. Asserting an already
 // asserted line is a no-op — the slotted bitmap makes the (very common)
 // re-assertion of a still-blocked source O(1) rather than a scan of every
-// asserted line.
+// asserted line. Called from the request-line phase and by the bus itself
+// when it re-asserts a stalled source's line.
+//
+//phase:bus,snoop
+//hotpath:allocfree
 func (b *Bus) RequestSlot(id int) {
 	if id >= 0 && id < len(b.slotted) && b.slotted[id] {
 		return
@@ -544,6 +582,10 @@ func (b *Bus) RequestSlot(id int) {
 }
 
 // CancelSlot deasserts source id's request line (and its priority claim).
+// Called from the request-line phase and by the arbiter's priority grant.
+//
+//phase:bus,snoop
+//hotpath:allocfree
 func (b *Bus) CancelSlot(id int) {
 	if id >= 0 && id < len(b.slotted) && b.slotted[id] {
 		b.slotted[id] = false
@@ -563,6 +605,9 @@ func (b *Bus) CancelSlot(id int) {
 // the next grant goes to it ("The original bus read will be retried
 // immediately", Section 3). Only one source may hold priority; a second
 // claim panics, as at most one read can have been killed per cycle.
+//
+//phase:bus
+//hotpath:allocfree
 func (b *Bus) PrioritySlot(id int) {
 	if b.priority != -1 && b.priority != id {
 		panic(fmt.Sprintf("bus: priority slot already held by %d", b.priority))
@@ -599,6 +644,9 @@ func (b *Bus) Cycle() uint64 { return b.cycle }
 // Tick advances the bus one cycle: the arbiter grants at most one source
 // (priority first, then round-robin by id) and executes the transaction it
 // supplies. granted is false on an idle or busy-hold cycle.
+//
+//phase:bus
+//hotpath:allocfree
 func (b *Bus) Tick() (req Request, res Result, granted bool) {
 	b.cycle++
 	if b.cycle <= b.busyUntil {
@@ -629,6 +677,8 @@ func (b *Bus) Tick() (req Request, res Result, granted bool) {
 // let it supply (or withdraw) its transaction, and execute the first one
 // that is not blocked by the lock register or a not-ready memory port.
 // Blocked sources are parked on b.stalled; Tick re-asserts their lines.
+//
+//hotpath:allocfree
 func (b *Bus) arbitrate() (Request, Result, bool) {
 	for {
 		source, ok := b.pick()
@@ -701,6 +751,8 @@ func (b *Bus) arbitrate() (Request, Result, bool) {
 }
 
 // pick removes and returns the next source to grant.
+//
+//hotpath:allocfree
 func (b *Bus) pick() (int, bool) {
 	if b.priority != -1 {
 		s := b.priority
@@ -735,6 +787,8 @@ func (b *Bus) pick() (int, bool) {
 }
 
 // execute performs one transaction against memory and the snoopers.
+//
+//hotpath:allocfree
 func (b *Bus) execute(r *Request) Result {
 	switch r.Op {
 	case OpRead:
@@ -765,6 +819,8 @@ func (b *Bus) execute(r *Request) Result {
 }
 
 // release clears the lock register for an Unlock transaction.
+//
+//hotpath:allocfree
 func (b *Bus) release(r *Request) {
 	if !r.Unlock {
 		return
@@ -775,6 +831,7 @@ func (b *Bus) release(r *Request) {
 	b.lockHolder = -1
 }
 
+//hotpath:allocfree
 func (b *Bus) executeRead(r *Request) Result {
 	// No frame set changes while the transaction executes (installs happen
 	// in the requester's BusCompleted, after the Tick), so one target list
@@ -815,6 +872,7 @@ func (b *Bus) executeRead(r *Request) Result {
 	return Result{Data: data, SharedLine: shared}
 }
 
+//hotpath:allocfree
 func (b *Bus) executeRMW(r *Request) Result {
 	// Locked read: non-cachable, so only a dirty Local owner flushes, and
 	// no read data is broadcast (Figures 6-1/6-2: spinning Test-and-Sets
@@ -856,6 +914,7 @@ func (b *Bus) executeRMW(r *Request) Result {
 	return res
 }
 
+//hotpath:allocfree
 func (b *Bus) broadcastWrite(op Op, addr Addr, data Word, source int) {
 	for _, i := range b.gatherTargets(addr, source) {
 		b.snoopers[i].ObserveWrite(op, addr, data, source)
@@ -863,6 +922,8 @@ func (b *Bus) broadcastWrite(op Op, addr Addr, data Word, source int) {
 }
 
 // hold occupies the bus for MemLatency additional cycles.
+//
+//hotpath:allocfree
 func (b *Bus) hold() {
 	if b.MemLatency > 0 {
 		b.busyUntil = b.cycle + uint64(b.MemLatency)

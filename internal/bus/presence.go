@@ -23,8 +23,13 @@ package bus
 // Masks are one uint64 per address, so ids must be below MaxPresenceIDs;
 // machines with more snoopers simply run without a table (nil Presence =
 // full broadcast, the original behavior).
+// The caches maintain the table from whichever phase installs or evicts a
+// frame (bus completions, snoop reactions, CPU-phase evictions), so the
+// holder state is //phase:any.
 type Presence struct {
-	pages  []*presencePage
+	//phase:any
+	pages []*presencePage
+	//phase:any
 	sparse map[Addr]uint64 // addresses >= presenceDenseLimit
 }
 
@@ -39,6 +44,7 @@ const (
 )
 
 type presencePage struct {
+	//phase:any
 	masks [presencePageWords]uint64
 }
 
@@ -47,17 +53,23 @@ func NewPresence() *Presence {
 	return &Presence{}
 }
 
-// Add records that snooper id holds a frame for a.
+// Add records that snooper id holds a frame for a. The page-growth
+// allocations are one-time per page; the steady-state path is a mask OR.
+//
+//phase:any
+//hotpath:allocfree
 func (p *Presence) Add(a Addr, id int) {
 	if a < presenceDenseLimit {
 		pi := int(a >> presencePageBits)
 		if pi >= len(p.pages) {
+			//lint:ignore allocaudit one-time growth of the dense page directory
 			grown := make([]*presencePage, pi+1)
 			copy(grown, p.pages)
 			p.pages = grown
 		}
 		pg := p.pages[pi]
 		if pg == nil {
+			//lint:ignore allocaudit one-time allocation of a dense page
 			pg = &presencePage{}
 			p.pages[pi] = pg
 		}
@@ -65,12 +77,16 @@ func (p *Presence) Add(a Addr, id int) {
 		return
 	}
 	if p.sparse == nil {
+		//lint:ignore allocaudit one-time lazy init of the sparse fallback map
 		p.sparse = make(map[Addr]uint64)
 	}
 	p.sparse[a] |= 1 << uint(id)
 }
 
 // Remove records that snooper id no longer holds a frame for a.
+//
+//phase:any
+//hotpath:allocfree
 func (p *Presence) Remove(a Addr, id int) {
 	if a < presenceDenseLimit {
 		pi := int(a >> presencePageBits)

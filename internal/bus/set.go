@@ -11,8 +11,9 @@ import "fmt"
 // The number of buses must be a power of two so the bank of an address is
 // addr & (n-1).
 type Set struct {
-	buses  []*Bus
-	mask   Addr
+	buses []*Bus
+	mask  Addr
+	//phase:bus
 	grants []Grant // reused per-Tick scratch; contents valid until the next Tick
 }
 
@@ -56,17 +57,29 @@ func (s *Set) AttachRequester(id int, r Requester) {
 	}
 }
 
-// RequestSlot asserts id's request line on the bus serving addr.
+// RequestSlot asserts id's request line on the bus serving addr; the
+// machine's request-line phase drives it.
+//
+//phase:snoop
+//hotpath:allocfree
 func (s *Set) RequestSlot(addr Addr, id int) {
 	s.buses[s.BankOf(addr)].RequestSlot(id)
 }
 
-// PrioritySlot asserts id's priority retry line on the bus serving addr.
+// PrioritySlot asserts id's priority retry line on the bus serving addr;
+// the machine asserts it while completing a killed read in the bus phase.
+//
+//phase:bus
+//hotpath:allocfree
 func (s *Set) PrioritySlot(addr Addr, id int) {
 	s.buses[s.BankOf(addr)].PrioritySlot(id)
 }
 
-// CancelSlot deasserts id's request line on every bus.
+// CancelSlot deasserts id's request line on every bus; the machine's
+// request-line phase drives it.
+//
+//phase:snoop
+//hotpath:allocfree
 func (s *Set) CancelSlot(id int) {
 	for _, b := range s.buses {
 		b.CancelSlot(id)
@@ -110,6 +123,9 @@ type Grant struct {
 // slice is set-owned scratch, overwritten by the next Tick; callers
 // consume it immediately (as the machine's bus phase does) rather than
 // retaining it.
+//
+//phase:bus
+//hotpath:allocfree
 func (s *Set) Tick() []Grant {
 	grants := s.grants[:0]
 	for i, b := range s.buses {

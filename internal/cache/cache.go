@@ -49,14 +49,25 @@ func (c Config) validate() error {
 	return nil
 }
 
-// line is one tag-store entry.
+// line is one tag-store entry. State, aux, dirty, data and the LRU stamp
+// mutate from every phase (CPU hits, own bus completions, snoop
+// reactions), so they are //phase:any; valid only flips on bus-phase
+// events (write-back evictions, RMW copy drops). addr changes only
+// through install's whole-struct store, which phaseaudit does not track
+// field-by-field, so it carries no annotation.
 type line struct {
-	valid   bool
-	addr    bus.Addr
-	state   coherence.State
-	aux     uint8
-	dirty   bool
-	data    bus.Word
+	//phase:bus
+	valid bool
+	addr  bus.Addr
+	//phase:any
+	state coherence.State
+	//phase:any
+	aux uint8
+	//phase:any
+	dirty bool
+	//phase:any
+	data bus.Word
+	//phase:any
 	lastUse uint64
 }
 
@@ -65,10 +76,16 @@ type line struct {
 // which for the Cm* baseline includes every write-through local write and
 // every uncached shared reference, exactly as Raskin's experiment counted
 // them.
+// Only the CPU phase classifies accesses, so the per-class counters are
+// cpu-owned.
 type ClassStats struct {
-	Reads       uint64
-	ReadMisses  uint64
-	Writes      uint64
+	//phase:cpu
+	Reads uint64
+	//phase:cpu
+	ReadMisses uint64
+	//phase:cpu
+	Writes uint64
+	//phase:cpu
 	WriteMisses uint64
 }
 
@@ -114,6 +131,9 @@ type pending struct {
 	addr  bus.Addr
 	data  bus.Word // value to write / to set on RMW success
 	rmw   bool
+	// retry flips only on bus-phase events (the kill and the successful
+	// re-read both arrive via BusCompleted).
+	//phase:bus
 	retry bool // the read was killed; re-issue with Retry set
 	// Two-phase Test-and-Set support (the paper's textual "read with
 	// lock" / "store back and unlock" realization):
@@ -162,14 +182,22 @@ type Cache struct {
 	sets  [][]line
 	nsets int
 
+	//phase:any
 	useClock uint64
 	// The single in-flight operation and its completion value are embedded
 	// (not heap-allocated per miss) so the steady-state cycle loop stays
 	// allocation-free; hasPend/hasResolved play the role the nil pointers
-	// used to.
-	pend        pending
-	hasPend     bool
-	resolved    bus.Word // completion value awaiting pickup
+	// used to. New operations start in the CPU phase (and, for the second
+	// leg of a two-phase Test-and-Set, at delivery time), so pend and
+	// hasPend mutate from every phase; resolutions only bind in the bus
+	// and request-line phases.
+	//phase:any
+	pend pending
+	//phase:any
+	hasPend bool
+	//phase:bus,snoop
+	resolved bus.Word // completion value awaiting pickup
+	//phase:bus,snoop
 	hasResolved bool
 
 	// plan memoization: the transaction a blocked cache needs is a pure
@@ -177,11 +205,17 @@ type Cache struct {
 	// a mutation (processor access, own bus completion, snooped traffic
 	// that touched a line). With many PEs most caches are blocked most
 	// cycles, and without the memo every one of them re-derives the same
-	// plan every cycle.
-	planOK   bool
-	planReq  bus.Request
+	// plan every cycle. The memo is invalidated (planOK) from any phase
+	// but recomputed only where it is consulted: grant time (bus) and
+	// request-line management (snoop).
+	//phase:any
+	planOK bool
+	//phase:bus,snoop
+	planReq bus.Request
+	//phase:bus,snoop
 	planNeed bool
-	gen      uint64 // mutation generation, see Gen
+	//phase:any
+	gen uint64 // mutation generation, see Gen
 
 	// OnResolve, when non-nil, is invoked synchronously whenever an
 	// operation's result binds — on cache hits, bus completions, and
@@ -193,6 +227,7 @@ type Cache struct {
 	// at the three points a frame's (valid, addr) binding changes.
 	pres *bus.Presence
 
+	//phase:any
 	stats Stats
 }
 
@@ -241,6 +276,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) setFor(a bus.Addr) int { return int(a) & (c.nsets - 1) }
 
 // lookup returns the line holding addr, or nil.
+//
+//hotpath:allocfree
 func (c *Cache) lookup(a bus.Addr) *line {
 	set := c.sets[c.setFor(a)]
 	for i := range set {
@@ -267,6 +304,8 @@ func (c *Cache) Busy() bool { return c.hasPend || c.hasResolved }
 // mutated discards the memoized plan and advances the generation
 // counter; every path that changes a line or the pending op calls it
 // before (or instead of) the change.
+//
+//hotpath:allocfree
 func (c *Cache) mutated() {
 	c.planOK = false
 	c.gen++
@@ -282,6 +321,8 @@ func (c *Cache) mutated() {
 func (c *Cache) Gen() uint64 { return c.gen }
 
 // setPend records p as the in-flight operation.
+//
+//hotpath:allocfree
 func (c *Cache) setPend(p pending) {
 	c.pend = p
 	c.hasPend = true
@@ -289,6 +330,8 @@ func (c *Cache) setPend(p pending) {
 }
 
 // touch updates the line's LRU stamp.
+//
+//hotpath:allocfree
 func (c *Cache) touch(ln *line) {
 	c.useClock++
 	ln.lastUse = c.useClock
@@ -310,6 +353,9 @@ func applyDirty(ln *line, d coherence.DirtyEffect) {
 // (a hit the protocol satisfies locally), done is true and value carries
 // the read result. Otherwise the operation is left pending; the caller
 // must assert a bus slot at WantsBusAddr and feed grants/completions back.
+//
+//phase:cpu
+//hotpath:allocfree
 func (c *Cache) Access(ev coherence.ProcEvent, a bus.Addr, data bus.Word, class coherence.Class) (done bool, value bus.Word) {
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: Access while busy", c.id))
@@ -350,6 +396,7 @@ func (c *Cache) Access(ev coherence.ProcEvent, a bus.Addr, data bus.Word, class 
 	return false, 0
 }
 
+//hotpath:allocfree
 func (c *Cache) countMiss(cls *ClassStats, ev coherence.ProcEvent) {
 	if ev == coherence.EvRead {
 		cls.ReadMisses++
@@ -359,6 +406,8 @@ func (c *Cache) countMiss(cls *ClassStats, ev coherence.ProcEvent) {
 }
 
 // fire reports a bound result to the OnResolve hook.
+//
+//hotpath:allocfree
 func (c *Cache) fire(rmw bool, ev coherence.ProcEvent, a bus.Addr, data, value bus.Word) {
 	if c.OnResolve != nil {
 		c.OnResolve(ResolveInfo{RMW: rmw, Ev: ev, Addr: a, Data: data, Value: value})
@@ -366,6 +415,8 @@ func (c *Cache) fire(rmw bool, ev coherence.ProcEvent, a bus.Addr, data, value b
 }
 
 // resolve finishes the pending operation p, binding value as its result.
+//
+//hotpath:allocfree
 func (c *Cache) resolve(p *pending, value bus.Word) {
 	c.hasPend = false
 	c.resolved = value
@@ -378,6 +429,9 @@ func (c *Cache) resolve(p *pending, value bus.Word) {
 // held in a state where the protocol allows a purely local RMW, it
 // completes immediately; otherwise a bus OpRMW is left pending. The value
 // delivered on completion is the *old* word (0 means the test succeeded).
+//
+//phase:cpu
+//hotpath:allocfree
 func (c *Cache) AccessRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word) {
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: AccessRMW while busy", c.id))
@@ -405,6 +459,9 @@ func (c *Cache) AccessRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word)
 // TryLocalRMW attempts the in-cache Test-and-Set fast path (exclusive
 // latest copy); it reports whether it completed, without falling back to
 // a bus operation.
+//
+//phase:cpu
+//hotpath:allocfree
 func (c *Cache) TryLocalRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word) {
 	ln := c.lookup(a)
 	if ln == nil || !c.proto.LocalRMW(ln.state) {
@@ -429,6 +486,9 @@ func (c *Cache) TryLocalRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Wor
 // paper's non-cachable "read with lock" bus operation. The delivered
 // value is the locked word; the caller must follow with
 // AccessUnlockWrite.
+//
+//phase:cpu
+//hotpath:allocfree
 func (c *Cache) AccessLockedRead(a bus.Addr) {
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: AccessLockedRead while busy", c.id))
@@ -443,6 +503,13 @@ func (c *Cache) AccessLockedRead(a bus.Addr) {
 // transition, taking the line Local under RB) versus the failed path (the
 // old value is restored without touching any cache state, matching the
 // paper's treatment of a failed Test-and-Set as non-cachable).
+//
+// The second leg starts at delivery time, which happens in the bus phase
+// (a grant completed) or the request-line phase (a local resolution),
+// never in the CPU phase.
+//
+//phase:bus,snoop
+//hotpath:allocfree
 func (c *Cache) AccessUnlockWrite(a bus.Addr, v bus.Word, cached bool) {
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: AccessUnlockWrite while busy", c.id))
@@ -454,6 +521,9 @@ func (c *Cache) AccessUnlockWrite(a bus.Addr, v bus.Word, cached bool) {
 // address (the machine uses the address to pick the bank, Figure 7-1).
 // The needed address can change as snooped traffic changes line states;
 // callers should re-check after every bus cycle.
+//
+//phase:snoop
+//hotpath:allocfree
 func (c *Cache) WantsBus() (bus.Addr, bool) {
 	if !c.hasPend {
 		return 0, false
@@ -467,6 +537,8 @@ func (c *Cache) WantsBus() (bus.Addr, bool) {
 
 // NeedsPriority reports whether the pending operation is an interrupted
 // read owed an immediate retry.
+//
+//hotpath:allocfree
 func (c *Cache) NeedsPriority() bool { return c.hasPend && c.pend.retry }
 
 // PendingString names the in-flight processor operation for diagnostics —
@@ -510,6 +582,8 @@ func (c *Cache) PendingString() string {
 // mutation. Safe because plan with unchanged state is deterministic, and
 // its only side effects (local resolution) would already have fired on
 // the call that populated the memo.
+//
+//hotpath:allocfree
 func (c *Cache) planCached() (bus.Request, bool) {
 	if !c.planOK {
 		c.planReq, c.planNeed, _ = c.plan()
@@ -522,6 +596,8 @@ func (c *Cache) planCached() (bus.Request, bool) {
 // need=false with resolvedLocally=true means the operation just completed
 // without the bus (state changed under us); need=false with
 // resolvedLocally=false cannot happen while pend is live.
+//
+//hotpath:allocfree
 func (c *Cache) plan() (req bus.Request, need bool, resolvedLocally bool) {
 	if !c.hasPend {
 		return bus.Request{}, false, false
@@ -576,6 +652,7 @@ func (c *Cache) plan() (req bus.Request, need bool, resolvedLocally bool) {
 	}
 }
 
+//hotpath:allocfree
 func (c *Cache) planRMW(p *pending) (bus.Request, bool, bool) {
 	ln := c.lookup(p.addr)
 	if ln != nil && c.proto.LocalRMW(ln.state) {
@@ -612,6 +689,8 @@ func (c *Cache) planRMW(p *pending) (bus.Request, bool, bool) {
 }
 
 // completeLocally finishes the pending op against a (possibly nil) line.
+//
+//hotpath:allocfree
 func (c *Cache) completeLocally(ln *line, out coherence.ProcOutcome) {
 	p := &c.pend
 	var v bus.Word
@@ -634,6 +713,8 @@ func (c *Cache) completeLocally(ln *line, out coherence.ProcOutcome) {
 // victim returns the frame that would hold addr, choosing the
 // least-recently-used way. It never returns the frame of addr itself (the
 // caller checked the address is absent).
+//
+//hotpath:allocfree
 func (c *Cache) victim(a bus.Addr) *line {
 	set := c.sets[c.setFor(a)]
 	best := &set[0]
@@ -652,6 +733,8 @@ func (c *Cache) victim(a bus.Addr) *line {
 // install places addr into its set, evicting the LRU way. The victim was
 // already written back if the protocol required it (plan schedules the
 // write-back transaction before the installing one).
+//
+//hotpath:allocfree
 func (c *Cache) install(a bus.Addr, st coherence.State, aux uint8, dirty bool, data bus.Word) *line {
 	ln := c.victim(a)
 	if ln.valid {
@@ -670,6 +753,9 @@ func (c *Cache) install(a bus.Addr, st coherence.State, aux uint8, dirty bool, d
 
 // BusGrant implements bus.Requester: the arbiter granted us the bus
 // serving (bank, banks); supply the transaction or withdraw.
+//
+//phase:bus
+//hotpath:allocfree
 func (c *Cache) BusGrant(bank, banks int) (bus.Request, bool) {
 	req, need := c.planCached()
 	if !need {
@@ -684,6 +770,9 @@ func (c *Cache) BusGrant(bank, banks int) (bus.Request, bool) {
 
 // BusCompleted folds the result of our own granted transaction back into
 // the cache and reports how the pending operation progressed.
+//
+//phase:bus
+//hotpath:allocfree
 func (c *Cache) BusCompleted(req bus.Request, res bus.Result) Progress {
 	if !c.hasPend {
 		panic(fmt.Sprintf("cache %d: BusCompleted with nothing pending", c.id))
@@ -726,6 +815,7 @@ func (c *Cache) BusCompleted(req bus.Request, res bus.Result) Progress {
 	}
 }
 
+//hotpath:allocfree
 func (c *Cache) readCompleted(p *pending, res bus.Result) Progress {
 	if p.bypass || !c.proto.Cachable(p.class, p.ev) {
 		// Uncached (or locked) read: deliver without installing.
@@ -764,6 +854,7 @@ func (c *Cache) readCompleted(p *pending, res bus.Result) Progress {
 	return ProgressDone
 }
 
+//hotpath:allocfree
 func (c *Cache) writeCompleted(p *pending) Progress {
 	if p.bypass || !c.proto.Cachable(p.class, p.ev) {
 		c.resolve(p, p.data)
@@ -796,6 +887,7 @@ func (c *Cache) writeCompleted(p *pending) Progress {
 	return ProgressDone
 }
 
+//hotpath:allocfree
 func (c *Cache) invCompleted(p *pending) Progress {
 	ln := c.lookup(p.addr)
 	if ln == nil {
@@ -810,6 +902,7 @@ func (c *Cache) invCompleted(p *pending) Progress {
 	return ProgressDone
 }
 
+//hotpath:allocfree
 func (c *Cache) rmwCompleted(p *pending, req bus.Request, res bus.Result) Progress {
 	old := res.Data
 	if res.RMWSuccess {
@@ -842,7 +935,12 @@ func (c *Cache) rmwCompleted(p *pending, req bus.Request, res bus.Result) Progre
 	return ProgressDone
 }
 
-// TakeResolved delivers and clears a completed operation's value.
+// TakeResolved delivers and clears a completed operation's value. The
+// machine polls it at the end of the bus phase and of the request-line
+// phase, the two places a value can have bound.
+//
+//phase:bus,snoop
+//hotpath:allocfree
 func (c *Cache) TakeResolved() (bus.Word, bool) {
 	if !c.hasResolved {
 		return 0, false
@@ -853,6 +951,9 @@ func (c *Cache) TakeResolved() (bus.Word, bool) {
 
 // HasCopy implements bus.CopyHolder: the cache drives the shared line
 // when it holds a valid copy.
+//
+//phase:bus
+//hotpath:allocfree
 func (c *Cache) HasCopy(a bus.Addr) bool {
 	ln := c.lookup(a)
 	return ln != nil && ln.state != coherence.Invalid
@@ -861,6 +962,9 @@ func (c *Cache) HasCopy(a bus.Addr) bool {
 // --- snoop port (bus.Snooper) ---
 
 // SnoopRead implements bus.Snooper.
+//
+//phase:bus
+//hotpath:allocfree
 func (c *Cache) SnoopRead(a bus.Addr, source int) (bool, bus.Word) {
 	ln := c.lookup(a)
 	if ln == nil {
@@ -879,6 +983,9 @@ func (c *Cache) SnoopRead(a bus.Addr, source int) (bool, bus.Word) {
 }
 
 // SnoopRMWRead implements bus.Snooper.
+//
+//phase:bus
+//hotpath:allocfree
 func (c *Cache) SnoopRMWRead(a bus.Addr, source int) (bool, bus.Word) {
 	ln := c.lookup(a)
 	if ln == nil {
@@ -897,6 +1004,9 @@ func (c *Cache) SnoopRMWRead(a bus.Addr, source int) (bool, bus.Word) {
 }
 
 // ObserveWrite implements bus.Snooper.
+//
+//phase:bus
+//hotpath:allocfree
 func (c *Cache) ObserveWrite(op bus.Op, a bus.Addr, d bus.Word, source int) {
 	ln := c.lookup(a)
 	if ln == nil {
@@ -921,6 +1031,9 @@ func (c *Cache) ObserveWrite(op bus.Op, a bus.Addr, d bus.Word, source int) {
 }
 
 // ObserveReadData implements bus.Snooper.
+//
+//phase:bus
+//hotpath:allocfree
 func (c *Cache) ObserveReadData(a bus.Addr, d bus.Word, source int) {
 	ln := c.lookup(a)
 	if ln == nil {

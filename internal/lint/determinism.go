@@ -16,12 +16,18 @@ import (
 //     function, returns a value derived from the iteration variables, or
 //     sends on a channel. Order-insensitive folds (summing counters,
 //     filling another map) pass.
-//   - time.Now / time.Since / time.Until: wall-clock input to a
-//     simulator invalidates reproducibility; the event loop owns time.
+//   - time.Now / time.Since / time.Until, and the wall-clock timer family
+//     time.After / time.Tick / time.NewTimer / time.NewTicker: wall-clock
+//     input to a simulator invalidates reproducibility; the event loop
+//     owns time. Sweep job bodies and cache-key derivation are the
+//     historical offenders — a job deadline from time.After or a cache
+//     key salted with time.Since changes results run to run.
 //   - importing math/rand (v1 or v2): simulation randomness must come
 //     from the seeded, versioned generator in internal/workload.
 //
-// All three can be waived per line with "//lint:ignore reason".
+// All three can be waived per line with "//lint:ignore reason" (scope it
+// with "//lint:ignore determinism reason" when other analyzers also fire
+// on the line).
 func checkDeterminism(p *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range p.Files {
@@ -54,8 +60,9 @@ func checkDeterminism(p *Package) []Diagnostic {
 	return diags
 }
 
-// wallClockCall reports whether call is time.Now/Since/Until, returning
-// the function name.
+// wallClockCall reports whether call reads the wall clock — directly
+// (time.Now/Since/Until) or through a timer (time.After/Tick/NewTimer/
+// NewTicker) — returning the function name.
 func wallClockCall(p *Package, call *ast.CallExpr) string {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -66,7 +73,7 @@ func wallClockCall(p *Package, call *ast.CallExpr) string {
 		return ""
 	}
 	switch obj.Name() {
-	case "Now", "Since", "Until":
+	case "Now", "Since", "Until", "After", "Tick", "NewTimer", "NewTicker":
 		return obj.Name()
 	}
 	return ""

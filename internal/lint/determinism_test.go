@@ -3,17 +3,17 @@ package lint
 import "testing"
 
 func TestDeterminismFixture(t *testing.T) {
-	// The fixture seeds ten violations — the math/rand import, a map
+	// The fixture seeds eleven violations — the math/rand import, a map
 	// range that prints, one that appends without sorting, one that
 	// returns an iteration element, a time.Now call, a map range that
 	// journals through json.Encoder, one that emits report rows, a
 	// dense-store snapshot whose sparse-overflow keys escape unsorted,
-	// a fault plan seeded from the wall clock, and a request id minted
-	// from the wall clock — while the collect-then-sort, any-match,
-	// commutative-fold, map-fill, sorted-journal, ignore-waived,
-	// sorted-snapshot, seeded fault-plan and content-hash request-id
-	// forms stay silent. Diagnostics arrive sorted by position, i.e.
-	// source order.
+	// a fault plan seeded from the wall clock, a request id minted
+	// from the wall clock, and a sweep-job body bounded by a time.After
+	// deadline — while the collect-then-sort, any-match, commutative-fold,
+	// map-fill, sorted-journal, ignore-waived, sorted-snapshot, seeded
+	// fault-plan, content-hash request-id and cycle-budget job forms stay
+	// silent. Diagnostics arrive sorted by position, i.e. source order.
 	expectDiags(t, runOn(t, "testdata/determinism"), [][2]string{
 		{"determinism", "import of math/rand"},
 		{"determinism", "reaches output through fmt.Println"},
@@ -25,5 +25,6 @@ func TestDeterminismFixture(t *testing.T) {
 		{"determinism", `reaches slice "addrs" via append without a subsequent sort`},
 		{"determinism", "wall-clock input"},
 		{"determinism", "wall-clock input"},
+		{"determinism", "time.After: wall-clock input"},
 	})
 }

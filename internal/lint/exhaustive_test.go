@@ -75,8 +75,12 @@ func TestExpandPatterns(t *testing.T) {
 		t.Fatal(err)
 	}
 	// testdata under the *root* of a walk is not skipped (only nested
-	// testdata dirs are), so the three fixture packages appear.
-	want := []string{"testdata/clean", "testdata/determinism", "testdata/exhaustive"}
+	// testdata dirs are), so every fixture package appears.
+	want := []string{
+		"testdata/allocfree", "testdata/clean", "testdata/determinism",
+		"testdata/exhaustive", "testdata/ignorescope", "testdata/phase",
+		"testdata/syncaudit",
+	}
 	if len(dirs) != len(want) {
 		t.Fatalf("ExpandPatterns = %v, want %v", dirs, want)
 	}

@@ -2,7 +2,7 @@
 // module built entirely on the standard library (go/parser, go/ast,
 // go/types, go/importer — no golang.org/x/tools). It complements the
 // dynamic verification layers (internal/check's product-machine
-// exploration, the race detector) with three analyzer families:
+// exploration, the race detector) with six analyzer families:
 //
 //   - exhaustive: every switch over a module-defined enum type (a named
 //     integer or string type with declared constants, e.g.
@@ -10,20 +10,32 @@
 //     an explicit default clause, so adding a protocol state or event
 //     kind cannot silently fall through.
 //   - determinism: map iteration whose order can reach simulator state,
-//     stats output, or trace emission is flagged, as are time.Now and
-//     math/rand in simulation packages — every BENCH comparison and
-//     Figure 6-x reproduction depends on runs being bit-identical.
+//     stats output, or trace emission is flagged, as are time.Now,
+//     wall-clock timers, and math/rand in simulation packages — every
+//     BENCH comparison and Figure 6-x reproduction depends on runs being
+//     bit-identical.
 //   - tableaudit: every registered coherence.Protocol is audited for
 //     totality (state x event always has a defined outcome), reachability
 //     (no dead states), and outcome sanity (see tableaudit.go).
+//   - phaseaudit: "//phase:bus|snoop|cpu|any" annotations declare which
+//     cycle-loop phase owns each mutable simulator field; the analyzer
+//     walks the call graph from the annotated phase roots and flags every
+//     write reached from a phase that does not own it (phaseaudit.go).
+//   - allocaudit: functions marked "//hotpath:allocfree" may not contain
+//     heap-allocating constructs (allocaudit.go).
+//   - syncaudit: fields accessed both atomically and plainly, and locks
+//     acquired in inconsistent order, are flagged (syncaudit.go).
 //
 // Findings can be suppressed with a "//lint:ignore reason" comment on the
-// offending line or the line directly above it.
+// offending line or the line directly above it; prefix the reason with an
+// analyzer name (or comma-separated list) to scope the suppression.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,10 +44,13 @@ import (
 
 // Diagnostic is one finding. Pos is zero-valued for findings that have no
 // source location (table-audit findings describe a protocol, not a file).
+// Suppressed findings are only present when Config.IncludeSuppressed is
+// set.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string // "exhaustive", "determinism" or "tableaudit"
-	Message  string
+	Pos        token.Position
+	Analyzer   string // "exhaustive", "determinism", "tableaudit", "phaseaudit", "allocaudit" or "syncaudit"
+	Message    string
+	Suppressed bool // covered by a //lint:ignore directive
 }
 
 // String renders the diagnostic in go vet's file:line:col format.
@@ -53,25 +68,39 @@ type Config struct {
 	// SkipTables disables the protocol table audit (it is package-level,
 	// not per-directory, so it runs once per Run).
 	SkipTables bool
+	// IncludeSuppressed keeps findings covered by //lint:ignore
+	// directives in the result, marked with Suppressed=true, instead of
+	// dropping them. The -format=json CLI output uses this so CI tooling
+	// can see waivers.
+	IncludeSuppressed bool
 }
 
 // Run loads every package in cfg.Dirs, applies the AST analyzers, runs
 // the table audit, and returns all diagnostics sorted by position. The
-// error is non-nil only for load failures (unparsable or untypeable
-// code), not for findings.
+// per-package analyzers (exhaustive, determinism, allocaudit) see one
+// package at a time; the whole-program analyzers (phaseaudit, syncaudit)
+// see every loaded package at once, because phase ownership and lock
+// order are cross-package properties. The error is non-nil only for load
+// failures (unparsable or untypeable code), not for findings.
 func Run(cfg Config) ([]Diagnostic, error) {
 	l := newLoader()
-	var diags []Diagnostic
+	var all []*Package
 	for _, dir := range cfg.Dirs {
 		pkgs, err := l.load(dir)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %s: %w", dir, err)
 		}
-		for _, p := range pkgs {
-			diags = append(diags, checkExhaustive(p)...)
-			diags = append(diags, checkDeterminism(p)...)
-		}
+		all = append(all, pkgs...)
 	}
+	var diags []Diagnostic
+	for _, p := range all {
+		p.includeSuppressed = cfg.IncludeSuppressed
+		diags = append(diags, checkExhaustive(p)...)
+		diags = append(diags, checkDeterminism(p)...)
+		diags = append(diags, checkAllocFree(p)...)
+	}
+	diags = append(diags, checkPhases(all, "")...)
+	diags = append(diags, checkSync(all)...)
 	if !cfg.SkipTables {
 		for _, a := range AuditAll() {
 			for _, f := range a.Findings {
@@ -82,20 +111,50 @@ func Run(cfg Config) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Message < b.Message
-	})
+	sortDiags(diags)
 	return diags, nil
+}
+
+// Unsuppressed counts the findings not covered by an ignore directive —
+// the number that decides protolint's exit code.
+func Unsuppressed(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
+// jsonDiag is the machine-readable rendering of one finding, one JSON
+// object per line (JSON Lines, so CI tooling can stream-parse).
+type jsonDiag struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSON renders diagnostics as JSON Lines.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := jsonDiag{
+			Analyzer:   d.Analyzer,
+			File:       filepath.ToSlash(d.Pos.Filename),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ExpandPatterns resolves command-line package patterns to directories.

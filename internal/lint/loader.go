@@ -23,9 +23,14 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	// ignores maps filename -> set of source lines suppressed by a
-	// "//lint:ignore reason" comment (the comment's line and the next).
-	ignores map[string]map[int]bool
+	// ignores maps filename -> source line -> the analyzer scope its
+	// "//lint:ignore" directives suppress (the comment's line and the
+	// next).
+	ignores map[string]map[int]*ignoreScope
+
+	// includeSuppressed keeps suppressed findings (marked) instead of
+	// dropping them; set from Config.IncludeSuppressed by Run.
+	includeSuppressed bool
 }
 
 // loader parses and type-checks package directories. Imports — both
@@ -100,7 +105,7 @@ func (l *loader) load(dir string) ([]*Package, error) {
 			Files:   files,
 			Types:   tpkg,
 			Info:    info,
-			ignores: map[string]map[int]bool{},
+			ignores: map[string]map[int]*ignoreScope{},
 		}
 		p.collectIgnores()
 		out = append(out, p)

@@ -1,0 +1,499 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// phaseaudit enforces the cycle-loop phase-ownership discipline that makes
+// the planned parallel multi-bank core (ROADMAP item 3) safe to attempt:
+//
+//	//phase:bus        on a field: only the bus phase may write it
+//	//phase:snoop      (request-line / snoop-resolution phase)
+//	//phase:cpu        (CPU phase)
+//	//phase:bus,snoop  a comma list: any listed phase may write
+//	//phase:any        all three phases may write
+//
+// The same directive on a method or function declares the phase context(s)
+// the function runs in; every annotated function with a body is an
+// analysis root. Unannotated functions are transparent: they inherit the
+// caller's phase context, so helpers need no annotations. Interface
+// methods may carry the directive too — it is then checked at every
+// dynamic call site.
+//
+// A package containing at least one //phase: directive is "phase-scoped".
+// Within the call graph reachable from the roots, the analyzer flags:
+//
+//   - a write (assignment, op-assignment, increment) whose first field
+//     selector from the receiver resolves to a field owned by phases that
+//     do not cover the current context;
+//   - a write to a field of a phase-scoped package that carries no
+//     //phase: annotation at all — so deleting an ownership annotation is
+//     itself a finding, not a silent loss of checking;
+//   - a call from phase context C into a function annotated with phases Q
+//     where C is not a subset of Q.
+//
+// The analysis is write-oriented (reads are unconstrained: the serial
+// loop's phase ordering already defines what a read observes) and
+// deliberately has one soundness gap: a whole-struct store through a
+// pointer ("*ln = line{...}") bypasses field resolution. Such stores are
+// rare and reviewed by hand.
+const (
+	phaseDirectivePrefix = "phase:"
+)
+
+// phaseSet is a bitmask of cycle-loop phases.
+type phaseSet uint8
+
+const (
+	phaseBus phaseSet = 1 << iota
+	phaseSnoop
+	phaseCPU
+)
+
+const phaseAll = phaseBus | phaseSnoop | phaseCPU
+
+func (s phaseSet) String() string {
+	if s == phaseAll {
+		return "any"
+	}
+	parts := make([]string, 0, 3)
+	if s&phaseBus != 0 {
+		parts = append(parts, "bus")
+	}
+	if s&phaseSnoop != 0 {
+		parts = append(parts, "snoop")
+	}
+	if s&phaseCPU != 0 {
+		parts = append(parts, "cpu")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// parsePhasePayload parses the text after "phase:"; ok is false for
+// malformed payloads.
+func parsePhasePayload(payload string) (phaseSet, bool) {
+	var set phaseSet
+	for _, name := range strings.Split(payload, ",") {
+		switch strings.TrimSpace(name) {
+		case "bus":
+			set |= phaseBus
+		case "snoop":
+			set |= phaseSnoop
+		case "cpu":
+			set |= phaseCPU
+		case "any":
+			set = phaseAll
+		default:
+			return 0, false
+		}
+	}
+	return set, set != 0
+}
+
+// phaseFunc is one function declaration available for walking.
+type phaseFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// phaseProgram is the whole-program phase-ownership index.
+type phaseProgram struct {
+	fieldOwner map[string]phaseSet // "pkgpath.Type.Field" -> owning phases
+	funcPhase  map[string]phaseSet // "pkgpath.Type.Method" / "pkgpath.Func" -> declared context
+	funcDecls  map[string]*phaseFunc
+	scoped     map[string]bool // package paths containing >=1 //phase: directive
+}
+
+// phaseVisit memoizes (function, context) walks.
+type phaseVisit struct {
+	fn  string
+	ctx phaseSet
+}
+
+// checkPhases runs phaseaudit over every loaded package. drop names one
+// annotation key ("pkgpath.Type.Field" or a function key) whose directive
+// is ignored during collection — the test hook that demonstrates deleting
+// an ownership annotation surfaces a finding; pass "" for a normal run.
+func checkPhases(pkgs []*Package, drop string) []Diagnostic {
+	prog, diags := buildPhaseProgram(pkgs, drop)
+	if len(prog.scoped) == 0 {
+		return diags
+	}
+	w := &phaseWalker{prog: prog, visited: map[phaseVisit]bool{}}
+	roots := make([]string, 0, len(prog.funcPhase))
+	for key := range prog.funcPhase {
+		roots = append(roots, key)
+	}
+	sort.Strings(roots)
+	for _, key := range roots {
+		w.walk(key, prog.funcPhase[key])
+	}
+	diags = append(diags, w.diags...)
+	sortDiags(diags)
+	return diags
+}
+
+// phaseFieldKeys lists every annotated field key, sorted — the iteration
+// domain for the annotation-deletion test.
+func phaseFieldKeys(pkgs []*Package) []string {
+	prog, _ := buildPhaseProgram(pkgs, "")
+	keys := make([]string, 0, len(prog.fieldOwner))
+	for key := range prog.fieldOwner {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// buildPhaseProgram collects annotations and declarations from every
+// package, emitting diagnostics for malformed directives.
+func buildPhaseProgram(pkgs []*Package, drop string) (*phaseProgram, []Diagnostic) {
+	prog := &phaseProgram{
+		fieldOwner: map[string]phaseSet{},
+		funcPhase:  map[string]phaseSet{},
+		funcDecls:  map[string]*phaseFunc{},
+		scoped:     map[string]bool{},
+	}
+	var diags []Diagnostic
+	record := func(p *Package, key string, set phaseSet, isField bool) {
+		prog.scoped[p.Path] = true
+		if key == drop && drop != "" {
+			return
+		}
+		if isField {
+			prog.fieldOwner[key] = set
+		} else {
+			prog.funcPhase[key] = set
+		}
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					key := p.Path + "." + funcDeclName(d)
+					prog.funcDecls[key] = &phaseFunc{pkg: p, decl: d}
+					set, pos, ok := phaseDirectives(p, d.Doc)
+					if !ok {
+						diags = p.diag(diags, pos, "phaseaudit", malformedPhaseMsg)
+						continue
+					}
+					if set != 0 {
+						record(p, key, set, false)
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						diags = collectTypePhases(prog, p, ts, record, diags)
+					}
+				}
+			}
+		}
+	}
+	return prog, diags
+}
+
+const malformedPhaseMsg = "malformed //phase: directive (want bus, snoop, cpu, any, or a comma-separated list)"
+
+// collectTypePhases collects field annotations from a struct type and
+// method annotations from an interface type.
+func collectTypePhases(prog *phaseProgram, p *Package, ts *ast.TypeSpec,
+	record func(*Package, string, phaseSet, bool), diags []Diagnostic) []Diagnostic {
+	switch t := ts.Type.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			set, pos, ok := fieldPhaseDirectives(p, field)
+			if !ok {
+				diags = p.diag(diags, pos, "phaseaudit", malformedPhaseMsg)
+				continue
+			}
+			if set == 0 {
+				continue
+			}
+			for _, name := range field.Names {
+				record(p, p.Path+"."+ts.Name.Name+"."+name.Name, set, true)
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			set, pos, ok := fieldPhaseDirectives(p, m)
+			if !ok {
+				diags = p.diag(diags, pos, "phaseaudit", malformedPhaseMsg)
+				continue
+			}
+			if set == 0 {
+				continue
+			}
+			for _, name := range m.Names {
+				record(p, p.Path+"."+ts.Name.Name+"."+name.Name, set, false)
+			}
+		}
+	}
+	return diags
+}
+
+// fieldPhaseDirectives reads //phase: lines from a field's doc comment and
+// trailing line comment.
+func fieldPhaseDirectives(p *Package, field *ast.Field) (phaseSet, token.Pos, bool) {
+	set, pos, ok := phaseDirectives(p, field.Doc)
+	if !ok {
+		return 0, pos, false
+	}
+	set2, pos2, ok := phaseDirectives(p, field.Comment)
+	if !ok {
+		return 0, pos2, false
+	}
+	return set | set2, field.Pos(), true
+}
+
+// phaseDirectives extracts the union of //phase: directives in a comment
+// group; ok is false (with the offending position) for a malformed one.
+func phaseDirectives(p *Package, doc *ast.CommentGroup) (phaseSet, token.Pos, bool) {
+	if doc == nil {
+		return 0, token.NoPos, true
+	}
+	var set phaseSet
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		payload, found := strings.CutPrefix(text, phaseDirectivePrefix)
+		if !found {
+			continue
+		}
+		s, ok := parsePhasePayload(payload)
+		if !ok {
+			return 0, c.Pos(), false
+		}
+		set |= s
+	}
+	return set, token.NoPos, true
+}
+
+// funcDeclName renders "Type.Method" or "Func" for a declaration.
+func funcDeclName(d *ast.FuncDecl) string {
+	if recv := recvTypeName(d); recv != "" {
+		return recv + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// recvTypeName returns the receiver's type name, "" for plain functions.
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// phaseWalker traverses the call graph from annotated roots.
+type phaseWalker struct {
+	prog    *phaseProgram
+	visited map[phaseVisit]bool
+	diags   []Diagnostic
+}
+
+func (w *phaseWalker) walk(key string, ctx phaseSet) {
+	v := phaseVisit{fn: key, ctx: ctx}
+	if w.visited[v] {
+		return
+	}
+	w.visited[v] = true
+	fn := w.prog.funcDecls[key]
+	if fn == nil || fn.decl.Body == nil {
+		return
+	}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				w.checkWrite(fn.pkg, lhs, ctx)
+			}
+		case *ast.IncDecStmt:
+			w.checkWrite(fn.pkg, n.X, ctx)
+		case *ast.CallExpr:
+			w.checkCall(fn.pkg, n, ctx)
+		}
+		return true
+	})
+}
+
+// checkCall verifies a call's phase contract and recurses into
+// unannotated callees.
+func (w *phaseWalker) checkCall(p *Package, call *ast.CallExpr, ctx phaseSet) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return // builtin, type conversion, or func-valued field: a leaf
+	}
+	key := typeFuncKey(fn)
+	if key == "" {
+		return
+	}
+	if q, annotated := w.prog.funcPhase[key]; annotated {
+		if ctx&^q != 0 {
+			w.diags = p.diag(w.diags, call.Pos(), "phaseaudit",
+				fmt.Sprintf("call to //phase:%s function %s from phase context %s", q, key, ctx))
+		}
+		return // annotated callees are walked as their own roots
+	}
+	w.walk(key, ctx) // transparent: inherit the caller's context
+}
+
+// checkWrite flags a write target whose root field is not owned by every
+// phase in ctx.
+func (w *phaseWalker) checkWrite(p *Package, target ast.Expr, ctx phaseSet) {
+	sel := rootFieldSelector(target)
+	if sel == nil {
+		return
+	}
+	key, pkgPath := fieldKeyOf(p, sel)
+	if key == "" {
+		return
+	}
+	if owner, annotated := w.prog.fieldOwner[key]; annotated {
+		if bad := ctx &^ owner; bad != 0 {
+			w.diags = p.diag(w.diags, sel.Pos(), "phaseaudit",
+				fmt.Sprintf("write to %s (owned by //phase:%s) from phase context %s", key, owner, bad))
+		}
+		return
+	}
+	if w.prog.scoped[pkgPath] {
+		w.diags = p.diag(w.diags, sel.Pos(), "phaseaudit",
+			fmt.Sprintf("write to %s from phase context %s: field of a phase-scoped package has no //phase: annotation declaring its owner", key, ctx))
+	}
+}
+
+// rootFieldSelector returns the selector nearest the root of a write
+// target ("b.stats" in "b.stats.Grants++", "m.slotBank" in
+// "m.slotBank[i] = v"); nil when the target has no field selector.
+func rootFieldSelector(e ast.Expr) *ast.SelectorExpr {
+	var inner *ast.SelectorExpr
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			inner = x
+			e = x.X
+		default:
+			return inner
+		}
+	}
+}
+
+// fieldKeyOf resolves a field selection to its declaring type's key
+// ("pkgpath.Type.Field") and the declaring package path. Both are "" when
+// sel is not a field selection or the declaring type is unnamed.
+func fieldKeyOf(p *Package, sel *ast.SelectorExpr) (string, string) {
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return "", ""
+	}
+	t := s.Recv()
+	idx := s.Index()
+	for i, fi := range idx {
+		named, st := derefNamed(t)
+		if st == nil || fi >= st.NumFields() {
+			return "", ""
+		}
+		f := st.Field(fi)
+		if i == len(idx)-1 {
+			if named == nil || named.Obj().Pkg() == nil {
+				return "", ""
+			}
+			path := named.Obj().Pkg().Path()
+			return path + "." + named.Obj().Name() + "." + f.Name(), path
+		}
+		t = f.Type()
+	}
+	return "", ""
+}
+
+// derefNamed unwraps one level of pointer and returns the named type (nil
+// for unnamed) and underlying struct (nil for non-structs).
+func derefNamed(t types.Type) (*types.Named, *types.Struct) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	st, _ := t.Underlying().(*types.Struct)
+	return named, st
+}
+
+// typeFuncKey renders a types.Func as "pkgpath.Type.Name" (methods,
+// including interface methods) or "pkgpath.Name" (functions). "" for
+// objects without a package (error.Error, builtins).
+func typeFuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		named, _ := derefNamed(recv.Type())
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// sortDiags orders diagnostics by position then message — the order Run
+// returns and golden files pin.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPhaseFixture(t *testing.T) {
+	// The fixture seeds six violations: a malformed directive, a
+	// snoop-owned field written from the bus phase, a bus-owned field
+	// written from the snoop phase (through a transparent helper), a
+	// write to an unannotated field of a phase-scoped package, a static
+	// call into a bus-phase function from the CPU phase, and a dynamic
+	// call into a bus-phase interface method from the snoop phase. The
+	// any-owned, multi-owned and matching-phase writes stay silent.
+	expectDiags(t, runOn(t, "testdata/phase"), [][2]string{
+		{"phaseaudit", "malformed //phase: directive"},
+		{"phaseaudit", "Engine.lines (owned by //phase:snoop) from phase context bus"},
+		{"phaseaudit", "Engine.grants (owned by //phase:bus) from phase context snoop"},
+		{"phaseaudit", "Engine.unowned from phase context snoop"},
+		{"phaseaudit", "call to //phase:bus function"},
+		{"phaseaudit", "call to //phase:bus function"},
+	})
+}
+
+// realPhasePkgs loads the phase-annotated simulator packages once and
+// shares them across the real-tree tests below (the source importer makes
+// loading the expensive step; re-running the AST analysis is cheap).
+var (
+	realPhaseOnce sync.Once
+	realPhasePkgs []*Package
+	realPhaseErr  error
+)
+
+func loadRealPhasePkgs(t *testing.T) []*Package {
+	t.Helper()
+	realPhaseOnce.Do(func() {
+		l := newLoader()
+		for _, dir := range []string{
+			"../machine", "../bus", "../cache", "../memory", "../stats", "../processor",
+		} {
+			pkgs, err := l.load(dir)
+			if err != nil {
+				realPhaseErr = err
+				return
+			}
+			realPhasePkgs = append(realPhasePkgs, pkgs...)
+		}
+	})
+	if realPhaseErr != nil {
+		t.Fatalf("loading simulator packages: %v", realPhaseErr)
+	}
+	return realPhasePkgs
+}
+
+func TestRealTreePhaseClean(t *testing.T) {
+	pkgs := loadRealPhasePkgs(t)
+	diags := checkPhases(pkgs, "")
+	for _, d := range diags {
+		t.Errorf("unexpected phaseaudit finding: %s", d)
+	}
+}
+
+func TestPhaseAnnotationDeletionSurfaces(t *testing.T) {
+	// The acceptance property for the annotation scheme: deleting any
+	// one ownership annotation must surface a phaseaudit finding naming
+	// the field, because a write to an unannotated field of a
+	// phase-scoped package is itself a violation.
+	pkgs := loadRealPhasePkgs(t)
+	keys := phaseFieldKeys(pkgs)
+	if len(keys) < 10 {
+		t.Fatalf("expected a rich real-tree annotation set, got %d keys: %v", len(keys), keys)
+	}
+	for _, key := range keys {
+		diags := checkPhases(pkgs, key)
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "phaseaudit" && strings.Contains(d.Message, key) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("deleting the //phase: annotation on %s surfaced no phaseaudit finding", key)
+		}
+	}
+}
+
+func TestCycleLoopRootsAnnotated(t *testing.T) {
+	// Deleting a field annotation is caught by the analyzer itself
+	// (TestPhaseAnnotationDeletionSurfaces); deleting a phase *root*
+	// annotation would instead silently shrink the walked call graph, so
+	// the cycle loop's roots are pinned here.
+	pkgs := loadRealPhasePkgs(t)
+	prog, _ := buildPhaseProgram(pkgs, "")
+	want := []struct {
+		key string
+		set phaseSet
+	}{
+		{"repro/internal/machine.Machine.busPhase", phaseBus},
+		{"repro/internal/machine.Machine.cpuPhase", phaseCPU},
+		{"repro/internal/machine.Machine.snoopPhase", phaseSnoop},
+		{"repro/internal/machine.Machine.deliver", phaseBus | phaseSnoop},
+		{"repro/internal/machine.Machine.checkResolve", phaseAll},
+		{"repro/internal/bus.Bus.Tick", phaseBus},
+		{"repro/internal/cache.Cache.Access", phaseCPU},
+		{"repro/internal/cache.Cache.WantsBus", phaseSnoop},
+		{"repro/internal/cache.Cache.BusCompleted", phaseBus},
+	}
+	for _, w := range want {
+		if got := prog.funcPhase[w.key]; got != w.set {
+			t.Errorf("root %s: phase set = %v, want %v", w.key, got, w.set)
+		}
+	}
+}

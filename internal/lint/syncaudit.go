@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// syncaudit guards the harness layers that do run goroutines today
+// (serve, sweep, fault campaigns) with two whole-program checks:
+//
+//   - mixed atomic/plain access: a field whose address is ever passed to a
+//     sync/atomic function must be accessed through sync/atomic
+//     everywhere; any plain read or write of it is a data race waiting
+//     for a scheduler to expose it. (Typed atomics — atomic.Int64 and
+//     friends — cannot be mixed and need no checking.)
+//   - lock-order inversion: within each function, the mutexes held when
+//     another mutex is acquired define acquisition-order edges; if both
+//     A-before-B and B-before-A edges exist anywhere in the program, both
+//     sites are flagged. Acquiring a mutex already held by the same
+//     function is flagged as a self-deadlock. A deferred Unlock keeps the
+//     lock held to function end, matching its runtime behavior.
+//
+// The lock analysis is intraprocedural and linear (no path sensitivity):
+// it trades completeness for zero false positives on the repository's
+// lock idioms. Findings are waived per line with
+// "//lint:ignore syncaudit reason".
+
+// syncEdge records the first site acquiring 'to' while holding 'from'.
+type syncEdge struct {
+	pkg *Package
+	pos token.Pos
+}
+
+// checkSync runs both syncaudit checks across all loaded packages.
+func checkSync(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, checkAtomicMix(pkgs)...)
+	diags = append(diags, checkLockOrder(pkgs)...)
+	sortDiags(diags)
+	return diags
+}
+
+// checkAtomicMix flags plain accesses to fields that are elsewhere
+// accessed through sync/atomic.
+func checkAtomicMix(pkgs []*Package) []Diagnostic {
+	// Pass 1: every field whose address feeds a sync/atomic call.
+	atomicFields := map[string]token.Position{}
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(p, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					key, _ := fieldKeyOf(p, sel)
+					if key == "" {
+						continue
+					}
+					atomicArgs[sel] = true
+					if _, seen := atomicFields[key]; !seen {
+						atomicFields[key] = p.Fset.Position(sel.Pos())
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: plain selections of those fields.
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				key, _ := fieldKeyOf(p, sel)
+				if key == "" {
+					return true
+				}
+				first, isAtomic := atomicFields[key]
+				if !isAtomic {
+					return true
+				}
+				diags = p.diag(diags, sel.Pos(), "syncaudit",
+					fmt.Sprintf("plain access to %s, which is accessed atomically at %s:%d; every access must go through sync/atomic",
+						key, first.Filename, first.Line))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isAtomicFuncCall reports whether call invokes a package-level
+// sync/atomic function (AddUint64, StoreInt32, ...), not a typed-atomic
+// method.
+func isAtomicFuncCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// checkLockOrder builds the global mutex acquisition-order graph and
+// flags inversions and self-deadlocks.
+func checkLockOrder(pkgs []*Package) []Diagnostic {
+	edges := map[string]map[string]syncEdge{}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = scanLocks(p, fd.Body, edges, diags)
+			}
+		}
+	}
+	// Inversions: A->B and B->A both present.
+	froms := make([]string, 0, len(edges))
+	for from := range edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, a := range froms {
+		tos := make([]string, 0, len(edges[a]))
+		for to := range edges[a] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, b := range tos {
+			rev, inverted := edges[b][a]
+			if !inverted || a >= b {
+				continue // report each pair once, at both sites
+			}
+			ab, ba := edges[a][b], rev
+			diags = ab.pkg.diag(diags, ab.pos, "syncaudit",
+				fmt.Sprintf("lock %s acquired while holding %s, but the opposite order occurs at %s (lock-order inversion)",
+					b, a, ba.pkg.Fset.Position(ba.pos)))
+			diags = ba.pkg.diag(diags, ba.pos, "syncaudit",
+				fmt.Sprintf("lock %s acquired while holding %s, but the opposite order occurs at %s (lock-order inversion)",
+					a, b, ab.pkg.Fset.Position(ab.pos)))
+		}
+	}
+	return diags
+}
+
+// scanLocks walks one function body in source order, tracking held
+// mutexes, recording acquisition edges, and flagging self-deadlocks.
+func scanLocks(p *Package, body *ast.BlockStmt, edges map[string]map[string]syncEdge, diags []Diagnostic) []Diagnostic {
+	var held []string
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at function end; the lock stays
+			// held for ordering purposes.
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			key, op := mutexCall(p, n)
+			if key == "" {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h == key {
+						diags = p.diag(diags, n.Pos(), "syncaudit",
+							fmt.Sprintf("lock %s acquired while already held (self-deadlock)", key))
+						continue
+					}
+					if edges[h] == nil {
+						edges[h] = map[string]syncEdge{}
+					}
+					if _, seen := edges[h][key]; !seen {
+						edges[h][key] = syncEdge{pkg: p, pos: n.Pos()}
+					}
+				}
+				held = append(held, key)
+			case "Unlock", "RUnlock":
+				if deferred[n] {
+					return true
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// mutexCall recognizes sync.Mutex / sync.RWMutex method calls, returning
+// a stable key for the mutex ("pkgpath.Type.field" for mutex fields, the
+// expression text otherwise) and the method name.
+func mutexCall(p *Package, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if recvSel, ok := sel.X.(*ast.SelectorExpr); ok {
+		if key, _ := fieldKeyOf(p, recvSel); key != "" {
+			return key, fn.Name()
+		}
+	}
+	return p.Path + ":" + types.ExprString(sel.X), fn.Name()
+}

@@ -1,0 +1,18 @@
+package lint
+
+import "testing"
+
+func TestSyncFixture(t *testing.T) {
+	// The fixture seeds five violations: two plain accesses (a read and
+	// a write) to a field that Inc puts under sync/atomic discipline,
+	// both sides of a mu/aux lock-order inversion, and a self-deadlock.
+	// The atomic.Load form and the deferred-unlock consistent-order form
+	// stay silent.
+	expectDiags(t, runOn(t, "testdata/syncaudit"), [][2]string{
+		{"syncaudit", "plain access to"},
+		{"syncaudit", "plain access to"},
+		{"syncaudit", "lock-order inversion"},
+		{"syncaudit", "lock-order inversion"},
+		{"syncaudit", "self-deadlock"},
+	})
+}

@@ -1,0 +1,92 @@
+// Package allocfree is a protolint test fixture: each seeded violation
+// below must be caught by the allocaudit analyzer, and each clean idiom
+// must pass. The package lives under testdata so the go tool never builds
+// it, but it compiles.
+package allocfree
+
+import "fmt"
+
+// Ring is a steady-state scratch structure whose buffers amortize to
+// zero allocations.
+type Ring struct {
+	slots   []int
+	names   []string
+	targets []int
+}
+
+func (r *Ring) reset() {}
+
+func sink(v interface{}) { _ = v }
+
+// Grow appends to a caller-supplied slice with no capacity guarantee.
+//
+//hotpath:allocfree
+func (r *Ring) Grow(xs []int, v int) []int {
+	return append(xs, v) // seeded violation: append may grow
+}
+
+// Scratch shows the three blessed append forms: a capped local from a
+// reslice, a self-append to an owned field, and a reslice argument.
+//
+//hotpath:allocfree
+func (r *Ring) Scratch(v int) {
+	t := r.targets[:0]
+	t = append(t, v)                   // clean: capped local
+	r.targets = t                      // clean
+	r.slots = append(r.slots, v)       // clean: self-append to a field
+	r.names = append(r.names[:0], "x") // clean: reslice argument
+}
+
+// Format allocates through fmt and runtime string concatenation.
+//
+//hotpath:allocfree
+func (r *Ring) Format(name string) string {
+	s := fmt.Sprintf("ring-%s", name) // seeded violation: fmt call
+	return s + "!"                    // seeded violation: string concatenation
+}
+
+// Box passes a non-pointer-shaped value to an interface parameter.
+//
+//hotpath:allocfree
+func (r *Ring) Box(v int) {
+	sink(v) // seeded violation: interface boxing
+}
+
+// Setup is full of one-time constructs that do not belong on the cycle
+// path.
+//
+//hotpath:allocfree
+func (r *Ring) Setup() func() {
+	m := map[int]int{} // seeded violation: map literal
+	_ = m
+	defer r.reset()  // seeded violation: defer record
+	return func() {} // seeded violation: closure
+}
+
+// Fail panics with formatted detail: panic arguments are terminal and
+// exempt.
+//
+//hotpath:allocfree
+func (r *Ring) Fail(code int) {
+	if code != 0 {
+		panic(fmt.Sprintf("ring: bad code %d", code)) // clean: terminal path
+	}
+}
+
+// Waived demonstrates the scoped waiver for a reviewed allocation.
+//
+//hotpath:allocfree
+func (r *Ring) Waived() *Ring {
+	//lint:ignore allocaudit one-time lazy init is off the steady-state path
+	return &Ring{}
+}
+
+// Unmarked is not on the hot path: anything goes.
+func Unmarked() []int {
+	return append([]int{}, 1, 2, 3)
+}
+
+// Mislabeled carries a directive naming an unknown mode.
+//
+//hotpath:nofree
+func Mislabeled() {}

@@ -1,0 +1,43 @@
+package determinism
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+)
+
+// cellKey is the blessed cache-key idiom: a pure content hash of the job
+// spec, never salted with wall-clock readings.
+func cellKey(spec string) string {
+	sum := sha256.Sum256([]byte(spec))
+	return hex.EncodeToString(sum[:8])
+}
+
+// RunCellWallClock mirrors a sweep job body that bounds its work by wall
+// clock: the budget depends on machine load, so the job's outcome — and
+// the cache entry recorded under its key — differs run to run.
+func RunCellWallClock(spec string, work func() bool) string {
+	deadline := time.After(time.Second) // want: wall-clock input
+	for {
+		select {
+		case <-deadline:
+			return cellKey(spec) + "-timeout"
+		default:
+			if work() {
+				return cellKey(spec)
+			}
+		}
+	}
+}
+
+// RunCellCycleBudget is the blessed sweep idiom: budgets are counted in
+// simulated cycles, so the same spec always runs the same work and lands
+// on the same cache key.
+func RunCellCycleBudget(spec string, cycles uint64, work func() bool) string {
+	for c := uint64(0); c < cycles; c++ {
+		if work() {
+			return cellKey(spec)
+		}
+	}
+	return cellKey(spec) + "-timeout"
+}

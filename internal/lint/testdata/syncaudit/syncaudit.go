@@ -1,0 +1,71 @@
+// Package syncaudit is a protolint test fixture: each seeded violation
+// below must be caught by the syncaudit analyzer, and each clean idiom
+// must pass. The package lives under testdata so the go tool never builds
+// it, but it compiles.
+package syncaudit
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter mixes atomic and plain access to hits, and acquires its two
+// mutexes in both orders.
+type Counter struct {
+	mu   sync.Mutex
+	aux  sync.Mutex
+	hits uint64
+}
+
+// Inc is the atomic access that puts hits under sync/atomic discipline.
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Read accesses hits plainly.
+func (c *Counter) Read() uint64 {
+	return c.hits // seeded violation: plain read of an atomic field
+}
+
+// Reset writes hits plainly.
+func (c *Counter) Reset() {
+	c.hits = 0 // seeded violation: plain write of an atomic field
+}
+
+// AtomicRead is the blessed form.
+func (c *Counter) AtomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// LockAB acquires mu before aux.
+func (c *Counter) LockAB() {
+	c.mu.Lock()
+	c.aux.Lock() // seeded violation: inverted elsewhere (LockBA)
+	c.aux.Unlock()
+	c.mu.Unlock()
+}
+
+// LockBA acquires aux before mu: the inversion.
+func (c *Counter) LockBA() {
+	c.aux.Lock()
+	c.mu.Lock() // seeded violation: inverted elsewhere (LockAB)
+	c.mu.Unlock()
+	c.aux.Unlock()
+}
+
+// Relock acquires a mutex it already holds.
+func (c *Counter) Relock() {
+	c.mu.Lock()
+	c.mu.Lock() // seeded violation: self-deadlock
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Guarded is clean: a deferred unlock keeps mu held to function end, and
+// aux is acquired in the same mu-before-aux order as LockAB.
+func (c *Counter) Guarded() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aux.Lock()
+	c.aux.Unlock()
+}

@@ -122,6 +122,10 @@ type pristineMem struct {
 	init *memory.Memory // value of each address before its first bus write
 }
 
+// WriteWord implements bus.Memory, recording the pristine value first.
+//
+//phase:bus
+//hotpath:allocfree
 func (p *pristineMem) WriteWord(a bus.Addr, w bus.Word) {
 	if !p.init.Written(a) {
 		p.init.Poke(a, p.Peek(a))
@@ -151,14 +155,24 @@ type Machine struct {
 	// bitmap marks addresses some retired write has touched, the stored
 	// word is the latest such value in serialization order. A dense store
 	// rather than a map so oracle-on runs stay allocation-free too.
-	oracle   *memory.Memory
+	oracle *memory.Memory
+	// slotBank tracks, per PE, which bank its request slot is asserted on
+	// (-1 none); only the request-line phase moves slots.
+	//phase:snoop
 	slotBank []int
 	cycle    uint64
-	err      error
+	// err latches the first violation; the oracle binds values in every
+	// phase, so any phase may set it.
+	//phase:any
+	err error
 
+	// issueCycle stamps are set at issue (CPU phase) and cleared at
+	// delivery (bus or snoop phase).
+	//phase:any
 	issueCycle []uint64 // per PE: cycle its in-flight op was issued (0 = none)
-	lastGen    []uint64 // per PE: cache generation at its last phase-3 pass
-	missLat    stats.Histogram
+	//phase:snoop
+	lastGen []uint64 // per PE: cache generation at its last phase-3 pass
+	missLat stats.Histogram
 
 	dirtyOwners map[bus.Addr]int // VerifyFinalMemory scratch, reused across calls
 }
@@ -251,17 +265,49 @@ func (m *Machine) Done() bool {
 // Step executes one bus cycle: bus phase, completion deliveries, CPU
 // phase, and request-line management. It returns the first consistency
 // violation encountered (and remembers it; subsequent Steps keep failing).
+//
+// Each phase is its own method carrying a //phase: annotation, so
+// phaseaudit can prove that state owned by one phase is never mutated
+// from another — the static precondition for running the phases of
+// different bus banks concurrently. The watchdog stays here: it runs
+// between cycles, outside any phase.
 func (m *Machine) Step() error {
 	if m.err != nil {
 		return m.err
 	}
 	m.cycle++
+	m.busPhase()
+	m.cpuPhase()
+	m.snoopPhase()
 
-	// 1. Bus phase: each bank executes at most one transaction. The
-	// oracle check happens inside the cache's OnResolve hook at the
-	// moment the value binds (possibly *within* the Tick, when a grant is
-	// withdrawn because a snooped write already satisfied the operation);
-	// here we only deliver bound values back to their processors.
+	// Watchdog: a PE stuck on one operation signals a machine bug (or, in
+	// a fault-injection run, a detected fault).
+	if m.cfg.StallCycles > 0 && m.err == nil {
+		for i, since := range m.issueCycle {
+			if since > 0 && m.cycle-since > m.cfg.StallCycles {
+				addr, wants := m.caches[i].WantsBus()
+				m.err = &StallError{
+					Cycle: m.cycle, PE: i, Since: since,
+					Pending: fmt.Sprintf("%s (wantsBus=%v addr=%d priority=%v)",
+						m.caches[i].PendingString(), wants, addr, m.caches[i].NeedsPriority()),
+					BusState: m.busStateDump(),
+				}
+				break
+			}
+		}
+	}
+	return m.err
+}
+
+// busPhase is phase 1 of the cycle: each bank executes at most one
+// transaction. The oracle check happens inside the cache's OnResolve hook
+// at the moment the value binds (possibly *within* the Tick, when a grant
+// is withdrawn because a snooped write already satisfied the operation);
+// here we only deliver bound values back to their processors.
+//
+//phase:bus
+//hotpath:allocfree
+func (m *Machine) busPhase() {
 	for _, g := range m.buses.Tick() {
 		if g.Req.Source >= len(m.caches) {
 			// The requester registry is open: a directly attached device
@@ -280,30 +326,41 @@ func (m *Machine) Step() error {
 			m.deliver(g.Req.Source, v)
 		}
 	}
+}
 
-	// 2. CPU phase: every ready PE issues one operation; in-cache hits
-	// bind (and are oracle-checked via OnResolve) here, after this
-	// cycle's bus transactions.
+// cpuPhase is phase 2 of the cycle: every ready PE issues one operation;
+// in-cache hits bind (and are oracle-checked via OnResolve) here, after
+// this cycle's bus transactions.
+//
+//phase:cpu
+//hotpath:allocfree
+func (m *Machine) cpuPhase() {
 	for i, p := range m.procs {
 		p.CPUPhase()
 		if p.Status() == processor.StatusBlocked && m.issueCycle[i] == 0 {
 			m.issueCycle[i] = m.cycle
 		}
 	}
+}
 
-	// 3. Request lines: assert/deassert to match each cache's needs.
-	// Planning can resolve an operation without the bus (a snooped write
-	// satisfied it); such resolutions bind their value now and are
-	// delivered at the end of the cycle.
-	//
-	// Caches whose generation is unchanged since the last pass are
-	// skipped outright: nothing happened to them, so their bus needs are
-	// as last asserted (a stalled slot is kept alive by the bus itself,
-	// and any grant, withdrawal or snoop hit advances the generation),
-	// they cannot have resolved anything, and an unchanged priority claim
-	// needs no action — the skip is exactly the no-op the full pass would
-	// have performed. With many PEs most caches are idle or blocked most
-	// cycles, and the cycle loop touches only the ones with news.
+// snoopPhase is phase 3 of the cycle — request-line management: assert or
+// deassert each cache's bus-request lines to match its needs. Planning can
+// resolve an operation without the bus (a snooped write satisfied it);
+// such resolutions bind their value now and are delivered at the end of
+// the cycle.
+//
+// Caches whose generation is unchanged since the last pass are skipped
+// outright: nothing happened to them, so their bus needs are as last
+// asserted (a stalled slot is kept alive by the bus itself, and any grant,
+// withdrawal or snoop hit advances the generation), they cannot have
+// resolved anything, and an unchanged priority claim needs no action — the
+// skip is exactly the no-op the full pass would have performed. With many
+// PEs most caches are idle or blocked most cycles, and the cycle loop
+// touches only the ones with news.
+//
+//phase:snoop
+//hotpath:allocfree
+func (m *Machine) snoopPhase() {
 	for i, c := range m.caches {
 		gen := c.Gen()
 		if gen == m.lastGen[i] {
@@ -335,24 +392,6 @@ func (m *Machine) Step() error {
 			m.deliver(i, v)
 		}
 	}
-
-	// Watchdog: a PE stuck on one operation signals a machine bug (or, in
-	// a fault-injection run, a detected fault).
-	if m.cfg.StallCycles > 0 && m.err == nil {
-		for i, since := range m.issueCycle {
-			if since > 0 && m.cycle-since > m.cfg.StallCycles {
-				addr, wants := m.caches[i].WantsBus()
-				m.err = &StallError{
-					Cycle: m.cycle, PE: i, Since: since,
-					Pending: fmt.Sprintf("%s (wantsBus=%v addr=%d priority=%v)",
-						m.caches[i].PendingString(), wants, addr, m.caches[i].NeedsPriority()),
-					BusState: m.busStateDump(),
-				}
-				break
-			}
-		}
-	}
-	return m.err
 }
 
 // busStateDump renders each bank's arbiter and lock-register state for the
@@ -376,7 +415,12 @@ func (m *Machine) busStateDump() string {
 }
 
 // deliver completes PE i's blocked operation, recording its miss latency
-// (cycles from issue to delivery inclusive).
+// (cycles from issue to delivery inclusive). Deliveries happen from the
+// bus phase (a grant completed) and the snoop phase (planning resolved the
+// operation without the bus), never from the CPU phase.
+//
+//phase:bus,snoop
+//hotpath:allocfree
 func (m *Machine) deliver(i int, v bus.Word) {
 	if start := m.issueCycle[i]; start > 0 {
 		m.missLat.Observe(m.cycle - start + 1)
@@ -386,13 +430,19 @@ func (m *Machine) deliver(i int, v bus.Word) {
 }
 
 // checkResolve folds one bound operation into the oracle, at its binding
-// (serialization) point.
+// (serialization) point. It is invoked through the cache's OnResolve hook,
+// which can fire from any phase (bus grants, snoop-planning resolutions,
+// CPU-phase cache hits).
+//
+//phase:any
+//hotpath:allocfree
 func (m *Machine) checkResolve(pe int, info cache.ResolveInfo) {
 	a := info.Addr
 	switch {
 	case info.RMW:
 		op := workload.TestSet(a, info.Data)
 		if exp := m.latest(a); info.Value != exp && m.err == nil {
+			//lint:ignore allocaudit a violation ends the run; the error allocation is off the steady-state path
 			m.err = &ConsistencyError{Cycle: m.cycle, PE: pe, Op: op, Got: info.Value, Expected: exp}
 		}
 		if info.Value == 0 {
@@ -403,6 +453,7 @@ func (m *Machine) checkResolve(pe int, info cache.ResolveInfo) {
 	default:
 		op := workload.Read(a, coherence.ClassUnknown)
 		if exp := m.latest(a); info.Value != exp && m.err == nil {
+			//lint:ignore allocaudit a violation ends the run; the error allocation is off the steady-state path
 			m.err = &ConsistencyError{Cycle: m.cycle, PE: pe, Op: op, Got: info.Value, Expected: exp}
 		}
 	}

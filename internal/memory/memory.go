@@ -42,13 +42,21 @@ const (
 // page is one dense storage unit: the words plus a bitmap of which were
 // ever stored (WriteWord, Poke or Corrupt), preserving the "words ever
 // written" accounting of Footprint and Snapshot.
+// All page state is //phase:any: the store is reached both from bus
+// transactions (WriteWord) and from oracle bookkeeping (Poke), which the
+// OnResolve hook fires from every phase.
 type page struct {
-	words   [pageWords]bus.Word
+	//phase:any
+	words [pageWords]bus.Word
+	//phase:any
 	written [pageWords / 64]uint64
-	count   int // set bits in written
+	//phase:any
+	count int // set bits in written
 }
 
 // mark records that offset o has been stored to.
+//
+//hotpath:allocfree
 func (p *page) mark(o uint32) {
 	w, bit := o>>6, uint64(1)<<(o&63)
 	if p.written[w]&bit == 0 {
@@ -71,9 +79,14 @@ type Stats struct {
 // whose memory is cleared at power-on (and letting the paper's lock
 // convention — 0 means free — hold without initialization).
 type Memory struct {
-	pages  []*page               // directory, indexed by addr >> pageBits
+	//phase:any
+	pages []*page // directory, indexed by addr >> pageBits
+	//phase:any
 	sparse map[bus.Addr]bus.Word // addresses >= denseLimit; nil until needed
-	stats  Stats
+	// stats counts bus-port traffic only, so only bus-phase entry points
+	// (ReadWord, WriteWord) touch it; Poke and Peek bypass the counters.
+	//phase:bus
+	stats Stats
 
 	// onWrite, when non-nil, is consulted on every bus-visible WriteWord;
 	// returning true swallows the write (a "lost write" fault). Nil — the
@@ -115,6 +128,8 @@ func (m *Memory) ensurePage(a bus.Addr) *page {
 }
 
 // load returns the stored word without touching the port counters.
+//
+//hotpath:allocfree
 func (m *Memory) load(a bus.Addr) bus.Word {
 	if a < denseLimit {
 		if p := m.pageFor(a); p != nil {
@@ -125,7 +140,11 @@ func (m *Memory) load(a bus.Addr) bus.Word {
 	return m.sparse[a]
 }
 
-// store writes the word without touching the port counters.
+// store writes the word without touching the port counters. The dense
+// path is allocation-free once a page exists; ensurePage (one-time per
+// page) is deliberately left out of the //hotpath:allocfree contract.
+//
+//hotpath:allocfree
 func (m *Memory) store(a bus.Addr, w bus.Word) {
 	if a < denseLimit {
 		p := m.ensurePage(a)
@@ -134,18 +153,25 @@ func (m *Memory) store(a bus.Addr, w bus.Word) {
 		return
 	}
 	if m.sparse == nil {
+		//lint:ignore allocaudit one-time lazy init of the sparse fallback map
 		m.sparse = make(map[bus.Addr]bus.Word)
 	}
 	m.sparse[a] = w
 }
 
-// ReadWord implements bus.Memory.
+// ReadWord implements bus.Memory; memory is reached only over the bus.
+//
+//phase:bus
+//hotpath:allocfree
 func (m *Memory) ReadWord(a bus.Addr) bus.Word {
 	m.stats.Reads++
 	return m.load(a)
 }
 
-// WriteWord implements bus.Memory.
+// WriteWord implements bus.Memory; memory is reached only over the bus.
+//
+//phase:bus
+//hotpath:allocfree
 func (m *Memory) WriteWord(a bus.Addr, w bus.Word) {
 	m.stats.Writes++
 	if m.onWrite != nil && m.onWrite(a, w) {
@@ -167,7 +193,11 @@ func (m *Memory) Peek(a bus.Addr) bus.Word { return m.load(a) }
 
 // Poke stores a word without counting a port access; used to preload
 // initial images (e.g. all-Readable initial lock values in the Figure 6
-// scenarios).
+// scenarios) and by the consistency oracle, whose OnResolve hook fires
+// from every phase.
+//
+//phase:any
+//hotpath:allocfree
 func (m *Memory) Poke(a bus.Addr, w bus.Word) { m.store(a, w) }
 
 // Written reports whether the word was ever stored (written, poked or

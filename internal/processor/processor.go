@@ -117,6 +117,8 @@ func (p *Processor) Cache() *cache.Cache { return p.cache }
 // CPUPhase runs the PE for one cycle. If a memory operation completes
 // immediately (a cache hit), the retirement is returned for the oracle;
 // otherwise ret is nil.
+//
+//hotpath:allocfree
 func (p *Processor) CPUPhase() (ret *Retirement) {
 	switch p.status {
 	case StatusReady:
@@ -190,6 +192,8 @@ func (p *Processor) CPUPhase() (ret *Retirement) {
 // Deliver completes the blocked operation with the value the cache
 // resolved, returning the retirement (nil while a two-phase Test-and-Set
 // is between its locked read and its unlocking write).
+//
+//hotpath:allocfree
 func (p *Processor) Deliver(v bus.Word) *Retirement {
 	if p.status != StatusBlocked {
 		panic(fmt.Sprintf("processor %d: Deliver while %v", p.id, p.status))
@@ -218,6 +222,7 @@ func (p *Processor) Deliver(v bus.Word) *Retirement {
 	return p.retire(op, v)
 }
 
+//hotpath:allocfree
 func (p *Processor) retire(op workload.Op, v bus.Word) *Retirement {
 	p.stats.Retired++
 	switch op.Kind {

@@ -16,15 +16,25 @@ import (
 // values in [2^(i-1), 2^i) with bucket 0 holding exactly 0. It records
 // count, sum, min and max exactly, so Mean is exact and only quantiles are
 // bucket-approximate.
+// The machine's latency histograms are fed at delivery time, which
+// happens in the bus and request-line phases (never the CPU phase), so
+// the accumulator state is owned by those two.
 type Histogram struct {
+	//phase:bus,snoop
 	buckets [65]uint64
-	count   uint64
-	sum     uint64
-	min     uint64
-	max     uint64
+	//phase:bus,snoop
+	count uint64
+	//phase:bus,snoop
+	sum uint64
+	//phase:bus,snoop
+	min uint64
+	//phase:bus,snoop
+	max uint64
 }
 
 // bucketOf returns the bucket index of a value.
+//
+//hotpath:allocfree
 func bucketOf(v uint64) int {
 	if v == 0 {
 		return 0
@@ -33,6 +43,8 @@ func bucketOf(v uint64) int {
 }
 
 // Observe records one value.
+//
+//hotpath:allocfree
 func (h *Histogram) Observe(v uint64) {
 	h.buckets[bucketOf(v)]++
 	h.count++

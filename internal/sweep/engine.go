@@ -349,6 +349,7 @@ func (e *Engine) callRunner(spec JobSpec) (*report.Table, error) {
 		t, err := run()
 		ch <- answer{t, err}
 	}()
+	//lint:ignore determinism the job timeout is a harness wall-clock budget, not simulation state
 	timer := time.NewTimer(e.opts.JobTimeout)
 	defer timer.Stop()
 	select {

@@ -11,7 +11,13 @@
 #                  without the race detector, whose instrumentation
 #                  allocates; the -race pass above skips it)
 #   6. protolint   the module's own analyzers: exhaustive switches,
-#                  determinism, protocol table audit
+#                  determinism, protocol table audit, phase ownership
+#                  (phaseaudit), hot-path allocation freedom (allocaudit)
+#                  and sync hygiene (syncaudit). Runs after the build/test
+#                  gates because it type-checks the same tree those gates
+#                  just proved compiles — a type error here would exit 2
+#                  (tool/load failure) rather than 1 (findings), and we
+#                  want that distinction to mean something.
 #   7. modelcheck  a bounded run of the Section 4 product-machine proof
 #                  over every protocol (n=3 caches keeps it seconds)
 #   8. sweep       a bounded smoke of the orchestration engine: parallel
