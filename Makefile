@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race lint fuzz modelcheck fault bench bench-core serve loadgen bench-serve fmt
+.PHONY: check build test race lint fuzz modelcheck fault bench bench-core serve loadgen bench-serve cluster bench-cluster fmt
 
 check:
 	sh scripts/check.sh
@@ -60,6 +60,16 @@ loadgen:
 
 bench-serve:
 	sh scripts/bench.sh serve
+
+# cluster runs the S25 tier self-contained: a router on its default port
+# with three in-process workers. Point loadgen (or curl) at it.
+cluster:
+	$(GO) run ./cmd/mimdrouter -spawn 3
+
+# bench-cluster measures the 1x/2x/4x-worker scaling curve under skewed
+# traffic and writes BENCH_cluster.json (schema cluster-bench-v1).
+bench-cluster:
+	sh scripts/bench.sh cluster
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// --- deterministic skewed traffic (satellite of S25) ---
+
+// splitmix64 is the generator behind the skewed plan: a tiny, fully
+// deterministic PRNG (no math/rand — the plan must be reproducible from
+// the seed alone, and the determinism analyzer holds this repo to that).
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps the next 53 random bits onto [0, 1).
+func (s *splitmix64) unit() float64 {
+	return float64(s.next()>>11) / float64(uint64(1)<<53)
+}
+
+// zipfCDF builds the cumulative distribution of Zipf weights
+// w_k = 1/(k+1)^s over n ranks.
+func zipfCDF(n int, s float64) []float64 {
+	weights := make([]float64, n)
+	total := 0.0
+	for k := range weights {
+		weights[k] = 1.0 / math.Pow(float64(k+1), s)
+		total += weights[k]
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for k := range cdf {
+		acc += weights[k] / total
+		cdf[k] = acc
+	}
+	return cdf
+}
+
+// sequence precomputes the deterministic spec-index plan for one phase.
+// skew ≤ 0 is the legacy uniform cycle. With skew > 0 the plan draws
+// ranks from a Zipf CDF (seeded splitmix64) and maps rank→spec through a
+// rotation that changes at shiftAt·n — the mid-run hot-key phase shift:
+// the head of the popularity ranking moves to a different spec (and so,
+// under the router, a different shard), which is exactly the traffic
+// pattern the p99 rebalancer exists for. Same seed, same plan, always.
+func sequence(mixLen, n int, skew float64, seed uint64, shiftAt float64) []int {
+	out := make([]int, n)
+	if skew <= 0 {
+		for i := range out {
+			out[i] = i % mixLen
+		}
+		return out
+	}
+	cdf := zipfCDF(mixLen, skew)
+	rng := &splitmix64{state: seed}
+	shiftPoint := int(shiftAt * float64(n))
+	hotOffset := mixLen/2 + 1
+	for i := range out {
+		rank := sort.SearchFloat64s(cdf, rng.unit())
+		if rank >= mixLen {
+			rank = mixLen - 1
+		}
+		if i >= shiftPoint {
+			rank = (rank + hotOffset) % mixLen
+		}
+		out[i] = rank
+	}
+	return out
+}
+
+// --- embedded cluster (tentpole: the S25 scaling curve) ---
+
+// embeddedCluster is a self-contained router + N workers on loopback
+// ports, each worker over its own cold DirStore.
+type embeddedCluster struct {
+	base    string
+	router  *cluster.Router
+	servers []*http.Server
+	dirs    []string
+	stop    func()
+}
+
+func (c *embeddedCluster) shutdown() {
+	if c.stop != nil {
+		c.stop()
+	}
+	for _, hs := range c.servers {
+		hs.Shutdown(context.Background())
+	}
+	for _, dir := range c.dirs {
+		os.RemoveAll(dir)
+	}
+}
+
+// startCluster boots nWorkers workers and a router over them. The
+// rebalancer polls fast (200ms) so replica activation is observable
+// within a bench phase.
+func startCluster(nWorkers, conc int) (*embeddedCluster, error) {
+	ec := &embeddedCluster{}
+	var fleet []cluster.Worker
+	for i := 0; i < nWorkers; i++ {
+		id := fmt.Sprintf("w%d", i+1)
+		dir, err := os.MkdirTemp("", "loadgen-cluster-*")
+		if err != nil {
+			ec.shutdownPartial()
+			return nil, err
+		}
+		ec.dirs = append(ec.dirs, dir)
+		store, err := sweep.OpenDirStore(dir)
+		if err != nil {
+			ec.shutdownPartial()
+			return nil, err
+		}
+		srv := serve.New(serve.Options{
+			Store:       store,
+			Worker:      true,
+			WorkerID:    id,
+			MaxInFlight: runtime.NumCPU(),
+			QueueDepth:  conc * 2,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ec.shutdownPartial()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		ec.servers = append(ec.servers, hs)
+		fleet = append(fleet, cluster.Worker{ID: id, URL: "http://" + ln.Addr().String()})
+	}
+
+	idOpts := serve.Options{}
+	router, err := cluster.New(cluster.Options{
+		Workers:      fleet,
+		RequestID:    func(body []byte) (string, error) { return serve.ComputeRequestID(body, idOpts) },
+		PollInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		ec.shutdownPartial()
+		return nil, err
+	}
+	ec.router = router
+	ctx, cancel := context.WithCancel(context.Background())
+	ec.stop = cancel
+	router.Start(ctx)
+
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ec.shutdownPartial()
+		return nil, err
+	}
+	rhs := &http.Server{Handler: router.Handler()}
+	go rhs.Serve(rln)
+	ec.servers = append(ec.servers, rhs)
+	ec.base = "http://" + rln.Addr().String()
+	return ec, nil
+}
+
+// shutdownPartial tears down whatever a failed startCluster had built.
+func (c *embeddedCluster) shutdownPartial() { c.shutdown() }
+
+// routerCounters is the subset of the router's /metrics the artifact
+// records per curve point.
+type routerCounters struct {
+	ReplicaReads   int64 `json:"replica_reads"`
+	Failovers      int64 `json:"failovers"`
+	ReplicasAdded  int64 `json:"replicas_added"`
+	ReplicasActive int   `json:"replicas_active"`
+	FillObjects    int64 `json:"fill_objects"`
+	RebalancePolls int64 `json:"rebalance_polls"`
+}
+
+// clusterPoint is one worker-count measurement on the scaling curve.
+type clusterPoint struct {
+	Workers int            `json:"workers"`
+	Cold    phaseStats     `json:"cold"`
+	Warm    phaseStats     `json:"warm"`
+	Router  routerCounters `json:"router"`
+}
+
+// clusterReport is the BENCH_cluster.json schema.
+type clusterReport struct {
+	Schema        string         `json:"schema"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	Concurrency   int            `json:"concurrency"`
+	RequestsPhase int            `json:"requests_per_phase"`
+	DistinctSpecs int            `json:"distinct_specs"`
+	Skew          float64        `json:"skew"`
+	Seed          uint64         `json:"seed"`
+	Points        []clusterPoint `json:"points"`
+}
+
+// runClusterCurve measures cold+warm phases against embedded clusters of
+// each requested worker count and writes the scaling curve artifact.
+func runClusterCurve(counts []int, conc, total, rps int, skew float64, seed uint64, shiftAt float64, outPath string) error {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc,
+		MaxIdleConnsPerHost: conc,
+	}}
+	mix := specMix()
+	plan := sequence(len(mix), total, skew, seed, shiftAt)
+
+	rep := clusterReport{
+		Schema:        "cluster-bench-v1",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Concurrency:   conc,
+		RequestsPhase: total,
+		DistinctSpecs: len(mix),
+		Skew:          skew,
+		Seed:          seed,
+	}
+	for _, n := range counts {
+		ec, err := startCluster(n, conc)
+		if err != nil {
+			return err
+		}
+		cold, err := runPhase(fmt.Sprintf("cold/%dw", n), client, ec.base, mix, plan, conc, rps)
+		if err != nil {
+			ec.shutdown()
+			return err
+		}
+		warm, err := runPhase(fmt.Sprintf("warm/%dw", n), client, ec.base, mix, plan, conc, rps)
+		if err != nil {
+			ec.shutdown()
+			return err
+		}
+		rc, err := scrapeRouter(client, ec.base)
+		if err != nil {
+			ec.shutdown()
+			return err
+		}
+		rc.ReplicasActive = ec.router.ActiveReplicas()
+		rep.Points = append(rep.Points, clusterPoint{Workers: n, Cold: cold, Warm: warm, Router: rc})
+		fmt.Fprintf(os.Stderr,
+			"loadgen: %d worker(s) — cold %.0fms (%.1f rps), warm %.0fms (%.1f rps), replica reads %d, replicas added %d\n",
+			n, cold.WallMS, cold.ThroughputRPS, warm.WallMS, warm.ThroughputRPS, rc.ReplicaReads, rc.ReplicasAdded)
+		ec.shutdown()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s (%d curve points)\n", outPath, len(rep.Points))
+	return nil
+}
+
+// scrapeRouter pulls the rebalancer and failover counters from the
+// router's Prometheus exposition.
+func scrapeRouter(client *http.Client, base string) (routerCounters, error) {
+	var c routerCounters
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch fields[0] {
+		case "mimdrouter_replica_reads_total":
+			c.ReplicaReads, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdrouter_failovers_total":
+			c.Failovers, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdrouter_replicas_added_total":
+			c.ReplicasAdded, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdrouter_fill_objects_total":
+			c.FillObjects, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdrouter_rebalance_polls_total":
+			c.RebalancePolls, _ = strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	return c, nil
+}
+
+// parseCounts decodes the -cluster flag: worker counts, comma separated.
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -cluster entry %q (want positive worker counts like 1,2,4)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+// TestSequenceDeterministic: the skewed plan is a pure function of
+// (mixLen, n, skew, seed, shiftAt) — two runs with the same seed issue
+// the same request sequence.
+func TestSequenceDeterministic(t *testing.T) {
+	a := sequence(9, 512, 1.2, 42, 0.5)
+	b := sequence(9, 512, 1.2, 42, 0.5)
+	if len(a) != 512 {
+		t.Fatalf("plan length %d, want 512", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := sequence(9, 512, 1.2, 43, 0.5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestSequenceSkewAndShift: before the shift point one spec dominates;
+// after it, a different one does — the mid-run hot-key phase shift.
+func TestSequenceSkewAndShift(t *testing.T) {
+	const mixLen, n = 9, 4000
+	plan := sequence(mixLen, n, 1.5, 7, 0.5)
+	counts := func(lo, hi int) map[int]int {
+		out := map[int]int{}
+		for _, idx := range plan[lo:hi] {
+			out[idx]++
+		}
+		return out
+	}
+	hottest := func(c map[int]int) (best, bestN int) {
+		for idx, n := range c {
+			if n > bestN {
+				best, bestN = idx, n
+			}
+		}
+		return
+	}
+	firstHot, firstN := hottest(counts(0, n/2))
+	secondHot, secondN := hottest(counts(n/2, n))
+	if firstHot == secondHot {
+		t.Fatalf("hot key did not shift: %d dominates both halves", firstHot)
+	}
+	// Zipf s=1.5 over 9 ranks gives the head ~45% of traffic; well over
+	// the uniform 1/9.
+	if firstN < n/2/5 || secondN < n/2/5 {
+		t.Fatalf("no skew: hot keys got %d and %d of %d requests", firstN, secondN, n/2)
+	}
+}
+
+// TestSequenceUniformFallback: skew 0 is the legacy deterministic cycle.
+func TestSequenceUniformFallback(t *testing.T) {
+	plan := sequence(4, 10, 0, 1, 0.5)
+	for i, idx := range plan {
+		if idx != i%4 {
+			t.Fatalf("plan[%d] = %d, want %d", i, idx, i%4)
+		}
+	}
+}

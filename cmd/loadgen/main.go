@@ -47,10 +47,30 @@ func main() {
 		outPath    = flag.String("o", "BENCH_serve.json", "where to write the JSON artifact")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail unless warm is at least this much faster than cold; 0 disables")
 		cacheDir   = flag.String("cache-dir", "", "embedded server store directory (default: a fresh temp dir, i.e. a cold start)")
+		skew       = flag.Float64("skew", 0, "Zipf exponent for skewed traffic; 0 = the legacy uniform cycle")
+		seed       = flag.Uint64("seed", 1, "seed for the skewed traffic plan (same seed = same request sequence)")
+		shiftAt    = flag.Float64("shift-at", 0.5, "fraction of the phase at which the skewed plan's hot key shifts")
+		clusterPts = flag.String("cluster", "", "scaling-curve mode: embedded router + this many workers per point, comma separated (e.g. 1,2,4); writes the cluster-bench artifact")
 	)
 	flag.Parse()
 
-	if err := run(*url, *conc, *total, *rps, *outPath, *minSpeedup, *cacheDir); err != nil {
+	if *clusterPts != "" {
+		counts, err := parseCounts(*clusterPts)
+		if err == nil {
+			out := *outPath
+			if out == "BENCH_serve.json" {
+				out = "BENCH_cluster.json"
+			}
+			err = runClusterCurve(counts, *conc, *total, *rps, *skew, *seed, *shiftAt, out)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*url, *conc, *total, *rps, *outPath, *minSpeedup, *cacheDir, *skew, *seed, *shiftAt); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -113,7 +133,7 @@ type benchReport struct {
 	Server        serverCounters `json:"server"`
 }
 
-func run(url string, conc, total, rps int, outPath string, minSpeedup float64, cacheDir string) error {
+func run(url string, conc, total, rps int, outPath string, minSpeedup float64, cacheDir string, skew float64, seed uint64, shiftAt float64) error {
 	base := url
 	if base == "" {
 		// Embedded mode: boot a daemon on a loopback port over a cold
@@ -151,12 +171,13 @@ func run(url string, conc, total, rps int, outPath string, minSpeedup float64, c
 		MaxIdleConnsPerHost: conc,
 	}}
 	mix := specMix()
+	plan := sequence(len(mix), total, skew, seed, shiftAt)
 
-	cold, err := runPhase("cold", client, base, mix, total, conc, rps)
+	cold, err := runPhase("cold", client, base, mix, plan, conc, rps)
 	if err != nil {
 		return err
 	}
-	warm, err := runPhase("warm", client, base, mix, total, conc, rps)
+	warm, err := runPhase("warm", client, base, mix, plan, conc, rps)
 	if err != nil {
 		return err
 	}
@@ -201,9 +222,10 @@ func run(url string, conc, total, rps int, outPath string, minSpeedup float64, c
 	return nil
 }
 
-// runPhase issues n requests from the mix at the given concurrency and
-// aggregates client-side latency.
-func runPhase(name string, client *http.Client, base string, mix []string, n, conc, rps int) (phaseStats, error) {
+// runPhase issues the plan's requests (plan[i] indexes into mix) at the
+// given concurrency and aggregates client-side latency.
+func runPhase(name string, client *http.Client, base string, mix []string, plan []int, conc, rps int) (phaseStats, error) {
+	n := len(plan)
 	var (
 		stats    phaseStats
 		mu       sync.Mutex
@@ -248,7 +270,7 @@ func runPhase(name string, client *http.Client, base string, mix []string, n, co
 				if tokens != nil {
 					<-tokens
 				}
-				lat, r429, err := issue(client, base, mix[i%len(mix)])
+				lat, r429, err := issue(client, base, mix[plan[i]])
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					continue

@@ -47,6 +47,10 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", 10000, "reject specs expanding past this many jobs")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGINT drain waits before cancelling running flights")
 		smoke     = flag.Bool("smoke", false, "bounded self-check: boot on a loopback port, run an experiment, verify the cache hit and a clean drain")
+		worker    = flag.Bool("worker", false, "run as a cluster worker: enable /shardstats and the /v1/replica pull API mimdrouter uses")
+		stats     = flag.Bool("shard-stats", false, "enable /shardstats latency digests without the replica API")
+		shards    = flag.Int("shards", 0, "virtual shard space size for latency digests; must match the router's; 0 = default")
+		workerID  = flag.String("worker-id", "", "this worker's id in cluster documents")
 	)
 	flag.Parse()
 
@@ -66,6 +70,10 @@ func main() {
 		JobTimeout:  *jobTO,
 		RetryAfter:  *retryHint,
 		MaxJobs:     *maxJobs,
+		Worker:      *worker,
+		ShardStats:  *stats,
+		NumShards:   *shards,
+		WorkerID:    *workerID,
 	}
 	if *cacheDir != "" {
 		ds, err := sweep.OpenDirStore(*cacheDir)

@@ -1,0 +1,36 @@
+// Package cluster is the S25 distributed sweep fabric: a shard-routed
+// router tier in front of N mimdserved workers. The content-hash
+// request-id space is partitioned into a fixed number of virtual shards;
+// each shard is assigned to a worker by rendezvous (highest-random-
+// weight) hashing over a versioned membership table, so adding or losing
+// a worker remaps only that worker's shards and every result store stays
+// shard-local. Workers publish windowed per-shard latency digests
+// (tracked lock-free with an atomic-pointer snapshot swap) on
+// /shardstats; the router's rebalancer polls them and replicates hot
+// shards to their rendezvous successor when p99 crosses a threshold,
+// retiring the replica on sustained recovery — the paper's dynamic,
+// decentralized adaptation transplanted to the serving tier. Results
+// are content-addressed, so a cluster run is byte-identical to a
+// single-node run whatever the routing. See DESIGN.md §13.
+package cluster
+
+import "hash/fnv"
+
+// DefaultNumShards is the default size of the virtual shard space. It is
+// deliberately much larger than any realistic worker count so rendezvous
+// assignment stays balanced, while small enough that per-shard latency
+// windows fill quickly under load.
+const DefaultNumShards = 32
+
+// ShardOf maps a content-hash request id onto a virtual shard. The
+// mapping is a pure function of the id bytes — no wall clock, no
+// randomness — so every router and worker computes the same shard for
+// the same request forever.
+func ShardOf(id string, numShards int) int {
+	if numShards <= 0 {
+		numShards = DefaultNumShards
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64() % uint64(numShards))
+}

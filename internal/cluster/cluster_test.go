@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestShardOfIsStableAndBounded(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("req-%024x", i)
+		s := ShardOf(id, DefaultNumShards)
+		if s < 0 || s >= DefaultNumShards {
+			t.Fatalf("ShardOf(%s) = %d out of [0,%d)", id, s, DefaultNumShards)
+		}
+		if again := ShardOf(id, DefaultNumShards); again != s {
+			t.Fatalf("ShardOf(%s) unstable: %d then %d", id, s, again)
+		}
+	}
+}
+
+func TestShardOfSpreadsAcrossShards(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[ShardOf(fmt.Sprintf("req-%d", i), DefaultNumShards)] = true
+	}
+	if len(seen) < DefaultNumShards/2 {
+		t.Fatalf("2000 ids landed on only %d of %d shards", len(seen), DefaultNumShards)
+	}
+}
+
+func TestRankIsDeterministicAndComplete(t *testing.T) {
+	ids := []string{"w1", "w2", "w3"}
+	for shard := 0; shard < DefaultNumShards; shard++ {
+		r1 := Rank(ids, shard)
+		r2 := Rank(ids, shard)
+		if len(r1) != len(ids) {
+			t.Fatalf("shard %d: rank has %d entries, want %d", shard, len(r1), len(ids))
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("shard %d: rank not deterministic: %v vs %v", shard, r1, r2)
+			}
+		}
+		seen := map[string]bool{}
+		for _, id := range r1 {
+			seen[id] = true
+		}
+		if len(seen) != len(ids) {
+			t.Fatalf("shard %d: rank %v is not a permutation of %v", shard, r1, ids)
+		}
+	}
+}
+
+// TestRankMinimalDisruption is the rendezvous property that makes the
+// membership table safe to change mid-flight: removing one worker only
+// moves the shards that worker owned — every other shard keeps its
+// owner.
+func TestRankMinimalDisruption(t *testing.T) {
+	all := []string{"w1", "w2", "w3", "w4"}
+	without := []string{"w1", "w2", "w4"}
+	moved := 0
+	for shard := 0; shard < 256; shard++ {
+		before := Owner(all, shard)
+		after := Owner(without, shard)
+		if before != "w3" && before != after {
+			t.Fatalf("shard %d: owner moved %s -> %s though w3 was not the owner", shard, before, after)
+		}
+		if before == "w3" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("w3 owned no shards out of 256; rendezvous spread is broken")
+	}
+}
+
+func TestOwnerAndSuccessorDiffer(t *testing.T) {
+	ids := []string{"w1", "w2", "w3"}
+	for shard := 0; shard < DefaultNumShards; shard++ {
+		if Owner(ids, shard) == Successor(ids, shard) {
+			t.Fatalf("shard %d: owner == successor", shard)
+		}
+	}
+	if Successor([]string{"only"}, 0) != "" {
+		t.Fatal("single-worker fleet should have no successor")
+	}
+}
+
+func TestMembershipTransitions(t *testing.T) {
+	m, err := NewMembership([]Worker{{ID: "w1", URL: "http://a"}, {ID: "w2", URL: "http://b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AliveCount(); got != 2 {
+		t.Fatalf("fresh membership: %d alive, want 2", got)
+	}
+	v0 := m.Version()
+
+	m.MarkDown("w1")
+	if m.Alive("w1") {
+		t.Fatal("w1 still alive after MarkDown")
+	}
+	if m.Version() == v0 {
+		t.Fatal("version did not bump on MarkDown")
+	}
+	if ids := m.AliveIDs(); len(ids) != 1 || ids[0] != "w2" {
+		t.Fatalf("alive ids = %v, want [w2]", ids)
+	}
+
+	v1 := m.Version()
+	m.MarkDown("w1") // idempotent: no bump for a no-op transition
+	if m.Version() != v1 {
+		t.Fatal("version bumped on a no-op MarkDown")
+	}
+
+	m.MarkUp("w1")
+	if !m.Alive("w1") || m.Version() == v1 {
+		t.Fatal("MarkUp did not revive w1 with a version bump")
+	}
+
+	if m.Fail("w2") != 1 || m.Fail("w2") != 2 {
+		t.Fatal("Fail streak did not count 1, 2")
+	}
+	m.MarkUp("w2")
+	if m.Fail("w2") != 1 {
+		t.Fatal("MarkUp did not reset the fail streak")
+	}
+
+	if _, err := NewMembership(nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewMembership([]Worker{{ID: "x", URL: "u"}, {ID: "x", URL: "v"}}); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}
+
+func TestTrackerDigestPercentiles(t *testing.T) {
+	tr := NewTracker(4)
+	for i := 1; i <= 100; i++ {
+		tr.Record(2, time.Duration(i)*time.Millisecond)
+	}
+	digests := tr.Snapshot()
+	d := digests[2]
+	if d.Count != 100 {
+		t.Fatalf("count = %d, want 100", d.Count)
+	}
+	if d.P50MS < 45 || d.P50MS > 55 {
+		t.Fatalf("p50 = %.1fms, want ~50ms", d.P50MS)
+	}
+	if d.P99MS < 95 || d.P99MS > 100 {
+		t.Fatalf("p99 = %.1fms, want ~99ms", d.P99MS)
+	}
+	if d.MaxMS != 100 {
+		t.Fatalf("max = %.1fms, want 100ms", d.MaxMS)
+	}
+	for i, other := range digests {
+		if i != 2 && other.Count != 0 {
+			t.Fatalf("shard %d counted %d samples without traffic", i, other.Count)
+		}
+	}
+
+	// The next snapshot sees an idle interval: zero samples, but the
+	// percentile shape persists so the rebalancer can distinguish
+	// "cooled" from "no traffic".
+	idle := tr.Snapshot()[2]
+	if idle.Count != 0 {
+		t.Fatalf("idle count = %d, want 0", idle.Count)
+	}
+	if idle.P99MS != d.P99MS {
+		t.Fatalf("idle p99 = %.1f, want previous %.1f", idle.P99MS, d.P99MS)
+	}
+}
+
+func TestTrackerWindowWraps(t *testing.T) {
+	tr := NewTracker(1)
+	for i := 0; i < windowCap*3; i++ {
+		tr.Record(0, time.Millisecond)
+	}
+	d := tr.Snapshot()[0]
+	if d.Count != int64(windowCap*3) {
+		t.Fatalf("count = %d, want %d", d.Count, windowCap*3)
+	}
+	if d.P99MS != 1 {
+		t.Fatalf("p99 = %.2fms, want 1ms", d.P99MS)
+	}
+}
+
+// TestTrackerConcurrent exercises the lock-free record/snapshot paths
+// under -race: many goroutines hammer Record while another rotates
+// windows with Snapshot and reads Last.
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				tr.Record(i%8, time.Duration(g+1)*time.Millisecond)
+			}
+		}(g)
+	}
+	total := int64(0)
+	for i := 0; i < 200; i++ {
+		tr.Record(i%8, time.Millisecond) // guarantee traffic even if the goroutines lag
+		for _, d := range tr.Snapshot() {
+			total += d.Count
+		}
+		tr.Last(i % 8)
+	}
+	close(done)
+	if total == 0 {
+		t.Fatal("no samples observed across 200 snapshots")
+	}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// probeLoop runs the active health checker until ctx is cancelled:
+// every ProbeInterval each declared worker is probed (with bounded
+// retry + exponential backoff inside the round), and FailThreshold
+// consecutive failed rounds mark it dead. A dead worker keeps being
+// probed, so recovery is detected and the membership version bumps back.
+// Routing additionally marks workers down passively on proxy errors —
+// the prober is what brings them back.
+func (r *Router) probeLoop(ctx context.Context) {
+	//lint:ignore determinism health probing is wall-clock observability; no simulation result depends on it
+	ticker := time.NewTicker(r.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			r.ProbeOnce(ctx)
+		}
+	}
+}
+
+// ProbeOnce runs one probe round over the whole fleet (exported so tests
+// and the smoke gate can drive failure detection deterministically).
+func (r *Router) ProbeOnce(ctx context.Context) {
+	for _, wk := range r.members.Workers() {
+		if r.probeWorker(ctx, wk.URL) {
+			r.members.MarkUp(wk.ID)
+			continue
+		}
+		if r.members.Fail(wk.ID) >= r.opts.FailThreshold {
+			r.members.MarkDown(wk.ID)
+		}
+	}
+}
+
+// probeWorker makes up to 1+ProbeRetries attempts against the worker's
+// /healthz, doubling the backoff between attempts. Only a 200 counts as
+// healthy: a draining worker (503) must stop receiving submissions just
+// like a dead one.
+func (r *Router) probeWorker(ctx context.Context, url string) bool {
+	backoff := r.opts.ProbeBackoff
+	for attempt := 0; attempt <= r.opts.ProbeRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return false
+			//lint:ignore determinism retry backoff is wall-clock plumbing, not simulation state
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+		if err != nil {
+			return false
+		}
+		resp, err := r.probe.Do(req)
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return true
+		}
+	}
+	return false
+}

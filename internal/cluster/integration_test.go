@@ -1,0 +1,241 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// clusterUnderTest is a router over N real serve workers, each with its
+// own DirStore.
+type clusterUnderTest struct {
+	base   string
+	stores []*sweep.DirStore
+}
+
+func startTestCluster(t *testing.T, n int) *clusterUnderTest {
+	t.Helper()
+	c := &clusterUnderTest{}
+	var fleet []cluster.Worker
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("w%d", i+1)
+		ds, err := sweep.OpenDirStore(filepath.Join(t.TempDir(), id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.stores = append(c.stores, ds)
+		srv := serve.New(serve.Options{Store: ds, Worker: true, WorkerID: id})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		fleet = append(fleet, cluster.Worker{ID: id, URL: ts.URL})
+	}
+	idOpts := serve.Options{}
+	r, err := cluster.New(cluster.Options{
+		Workers:   fleet,
+		RequestID: func(body []byte) (string, error) { return serve.ComputeRequestID(body, idOpts) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	c.base = ts.URL
+	return c
+}
+
+func postJSON(t *testing.T, base, spec string) serve.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response (status %d): %v", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d for %s: %s", resp.StatusCode, spec, out.Error)
+	}
+	return out
+}
+
+// TestClusterByteIdenticalToSingleNode is the tentpole acceptance test:
+// the same submissions against a single mimdserved and against a
+// 3-worker cluster must produce identical request ids, identical
+// client-visible tables and reports, and byte-identical stored
+// envelopes — the cluster tier adds capacity, never drift.
+func TestClusterByteIdenticalToSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+
+	singleStore, err := sweep.OpenDirStore(filepath.Join(t.TempDir(), "single"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(serve.New(serve.Options{Store: singleStore}).Handler())
+	defer single.Close()
+
+	clus := startTestCluster(t, 3)
+
+	specs := []string{
+		`{"kind":"experiment","experiment":"fig7-1","seeds":[1,2]}`,
+		`{"kind":"experiment","experiment":"fig6-1","seeds":[1]}`,
+		`{"kind":"sweep","experiments":["fig6-1","fig6-2"],"seeds":[1]}`,
+		`{"kind":"fault","fault":{"protocols":["rb","rwb"],"trials":1,"refs":200}}`,
+	}
+	for _, spec := range specs {
+		want := postJSON(t, single.URL, spec)
+		got := postJSON(t, clus.base, spec)
+		if got.ID != want.ID {
+			t.Fatalf("%s: id %s via cluster, %s single-node", spec, got.ID, want.ID)
+		}
+		if len(got.Tables) != len(want.Tables) {
+			t.Fatalf("%s: %d tables via cluster, %d single-node", spec, len(got.Tables), len(want.Tables))
+		}
+		for i := range want.Tables {
+			if got.Tables[i] != want.Tables[i] {
+				t.Fatalf("%s: table %d differs between cluster and single node:\n%s\n--- vs ---\n%s",
+					spec, i, got.Tables[i], want.Tables[i])
+			}
+		}
+		if got.Report != want.Report {
+			t.Fatalf("%s: fault report differs between cluster and single node", spec)
+		}
+	}
+
+	// Stored envelopes: every job key the experiment/sweep specs expand
+	// to must exist somewhere in the cluster with exactly the bytes the
+	// single node stored.
+	var jobs []sweep.Job
+	for _, sp := range []struct {
+		ids   []string
+		seeds []uint64
+	}{
+		{[]string{"fig7-1"}, []uint64{1, 2}},
+		{[]string{"fig6-1"}, []uint64{1}},
+		{[]string{"fig6-1", "fig6-2"}, []uint64{1}},
+	} {
+		var ss []sweep.Spec
+		for _, id := range sp.ids {
+			s, err := sweep.SpecFor(id, sp.seeds, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss = append(ss, s)
+		}
+		jobs = append(jobs, sweep.Expand(ss)...)
+	}
+	checked := 0
+	for _, j := range jobs {
+		want, err := os.ReadFile(objectPath(singleStore.Dir(), j.Key))
+		if err != nil {
+			t.Fatalf("single store missing %s: %v", j.Key, err)
+		}
+		found := false
+		for _, ds := range clus.stores {
+			got, err := os.ReadFile(objectPath(ds.Dir(), j.Key))
+			if err != nil {
+				continue
+			}
+			found = true
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stored envelope for %s differs between cluster and single node", j.Key)
+			}
+		}
+		if !found {
+			t.Fatalf("no cluster worker stores key %s", j.Key)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no job keys checked")
+	}
+}
+
+func objectPath(dir, key string) string {
+	return filepath.Join(dir, "objects", key+".json")
+}
+
+// TestReplicaFillCopiesExactBytes: the replication pull API must land
+// the owner's envelopes on the successor byte-for-byte.
+func TestReplicaFillCopiesExactBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+
+	ownerStore, err := sweep.OpenDirStore(filepath.Join(t.TempDir(), "owner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := httptest.NewServer(serve.New(serve.Options{Store: ownerStore, Worker: true, WorkerID: "w1"}).Handler())
+	defer owner.Close()
+	succStore, err := sweep.OpenDirStore(filepath.Join(t.TempDir(), "succ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := httptest.NewServer(serve.New(serve.Options{Store: succStore, Worker: true, WorkerID: "w2"}).Handler())
+	defer succ.Close()
+
+	// Run something on the owner so it has flights to replicate.
+	resp := postJSON(t, owner.URL, `{"kind":"experiment","experiment":"fig7-1","seeds":[1]}`)
+	shard := cluster.ShardOf(resp.ID, cluster.DefaultNumShards)
+
+	fill, err := json.Marshal(cluster.FillRequest{Source: owner.URL, Shard: shard, Shards: cluster.DefaultNumShards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp, err := http.Post(succ.URL+"/v1/replica/fill", "application/json", bytes.NewReader(fill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr cluster.FillResponse
+	if err := json.NewDecoder(fresp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("fill: status %d", fresp.StatusCode)
+	}
+	if fr.Objects == 0 {
+		t.Fatal("fill copied no objects")
+	}
+
+	sp, err := sweep.SpecFor("fig7-1", []uint64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range sweep.Expand([]sweep.Spec{sp}) {
+		want, err := os.ReadFile(objectPath(ownerStore.Dir(), j.Key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(objectPath(succStore.Dir(), j.Key))
+		if err != nil {
+			t.Fatalf("successor missing replicated key %s: %v", j.Key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replicated envelope for %s is not byte-identical", j.Key)
+		}
+	}
+
+	// The replica can now serve the same submission as a pure cache hit.
+	warm := postJSON(t, succ.URL, `{"kind":"experiment","experiment":"fig7-1","seeds":[1]}`)
+	if warm.Cache != "hit" || warm.Executed != 0 {
+		t.Fatalf("replica re-run: cache=%s executed=%d, want a pure hit", warm.Cache, warm.Executed)
+	}
+	if warm.Tables[0] != resp.Tables[0] {
+		t.Fatal("replica-served table differs from owner's")
+	}
+}

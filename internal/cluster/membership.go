@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Worker identifies one mimdserved worker in the fleet. The ID feeds the
+// rendezvous hash (it must be stable across restarts for the shard map
+// to be stable); the URL is where the router proxies to.
+type Worker struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// memberState is one worker's dynamic liveness state. The worker set
+// itself is fixed at construction (the fleet is declared up front);
+// what changes at runtime is which members are alive.
+type memberState struct {
+	worker Worker
+	alive  atomic.Bool
+	fails  atomic.Int32
+}
+
+// Membership is the versioned membership table: the declared fleet plus
+// per-worker liveness. Every liveness transition bumps the version, so
+// any consumer holding a routing decision can tell whether the table
+// changed under it. Request ids are content hashes and never depend on
+// the table — a membership change mid-flight re-routes, it never
+// re-identifies.
+type Membership struct {
+	version atomic.Uint64
+	members []*memberState
+	byID    map[string]*memberState
+}
+
+// NewMembership builds the table with every declared worker alive.
+func NewMembership(workers []Worker) (*Membership, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: membership needs at least one worker")
+	}
+	m := &Membership{byID: make(map[string]*memberState, len(workers))}
+	for _, w := range workers {
+		if w.ID == "" || w.URL == "" {
+			return nil, fmt.Errorf("cluster: worker needs both id and url, got %+v", w)
+		}
+		if _, dup := m.byID[w.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker id %q", w.ID)
+		}
+		ms := &memberState{worker: w}
+		ms.alive.Store(true)
+		m.members = append(m.members, ms)
+		m.byID[w.ID] = ms
+	}
+	m.version.Store(1)
+	return m, nil
+}
+
+// Version returns the table's current version.
+func (m *Membership) Version() uint64 { return m.version.Load() }
+
+// Workers returns the declared fleet in declaration order.
+func (m *Membership) Workers() []Worker {
+	out := make([]Worker, len(m.members))
+	for i, ms := range m.members {
+		out[i] = ms.worker
+	}
+	return out
+}
+
+// AliveIDs returns the ids of currently-alive workers in declaration
+// order — the rendezvous candidate set.
+func (m *Membership) AliveIDs() []string {
+	var out []string
+	for _, ms := range m.members {
+		if ms.alive.Load() {
+			out = append(out, ms.worker.ID)
+		}
+	}
+	return out
+}
+
+// Alive reports whether the worker is currently alive (false for
+// unknown ids).
+func (m *Membership) Alive(id string) bool {
+	ms := m.byID[id]
+	return ms != nil && ms.alive.Load()
+}
+
+// URL resolves a worker id to its URL ("" for unknown ids).
+func (m *Membership) URL(id string) string {
+	ms := m.byID[id]
+	if ms == nil {
+		return ""
+	}
+	return ms.worker.URL
+}
+
+// MarkDown records a worker as dead. It returns true when this call
+// changed the state (and bumped the version).
+func (m *Membership) MarkDown(id string) bool {
+	ms := m.byID[id]
+	if ms == nil || !ms.alive.CompareAndSwap(true, false) {
+		return false
+	}
+	m.version.Add(1)
+	return true
+}
+
+// MarkUp records a worker as alive again, resetting its failure streak.
+// It returns true when this call changed the state.
+func (m *Membership) MarkUp(id string) bool {
+	ms := m.byID[id]
+	if ms == nil {
+		return false
+	}
+	ms.fails.Store(0)
+	if !ms.alive.CompareAndSwap(false, true) {
+		return false
+	}
+	m.version.Add(1)
+	return true
+}
+
+// Fail records one failed health probe and returns the streak length.
+func (m *Membership) Fail(id string) int {
+	ms := m.byID[id]
+	if ms == nil {
+		return 0
+	}
+	return int(ms.fails.Add(1))
+}
+
+// AliveCount returns how many workers are currently alive.
+func (m *Membership) AliveCount() int {
+	n := 0
+	for _, ms := range m.members {
+		if ms.alive.Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// windowCap bounds the samples one latency window retains per shard.
+// Past it the window wraps: under sustained load the digest describes
+// the most recent windowCap observations, which is exactly what a tail-
+// latency rebalancer wants.
+const windowCap = 512
+
+// window is one collection interval's raw samples for one shard.
+// Recording is lock-free: writers claim a slot with an atomic counter
+// and store the sample with an atomic write, so the serving hot path
+// never takes a lock to observe a latency.
+type window struct {
+	count   atomic.Int64
+	samples [windowCap]atomic.Int64 // latency in nanoseconds
+}
+
+func (w *window) record(d time.Duration) {
+	i := w.count.Add(1) - 1
+	w.samples[i%windowCap].Store(int64(d))
+}
+
+// Digest is the published summary of one shard's closed window — the
+// JSON document workers expose on /shardstats and the rebalancer feeds
+// its state machine with.
+type Digest struct {
+	Shard int   `json:"shard"`
+	Count int64 `json:"count"`
+	// P50MS/P95MS/P99MS/MaxMS summarize the window's latency
+	// distribution in milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// shardState pairs the live window with the last published digest. Both
+// are swapped wholesale through atomic pointers — the DynamicCache
+// state-swap idiom: readers load a consistent snapshot without blocking
+// writers, writers publish a new state without blocking readers.
+type shardState struct {
+	cur  atomic.Pointer[window]
+	last atomic.Pointer[Digest]
+}
+
+// Tracker is the per-worker latency state: one lock-free window per
+// virtual shard. Record is called from request goroutines; Snapshot is
+// called by the /shardstats handler (and thus, transitively, by the
+// router's rebalancer poll).
+type Tracker struct {
+	numShards int
+	shards    []shardState
+}
+
+// NewTracker builds a tracker over numShards virtual shards (0 means
+// DefaultNumShards).
+func NewTracker(numShards int) *Tracker {
+	if numShards <= 0 {
+		numShards = DefaultNumShards
+	}
+	t := &Tracker{numShards: numShards, shards: make([]shardState, numShards)}
+	for i := range t.shards {
+		t.shards[i].cur.Store(&window{})
+		t.shards[i].last.Store(&Digest{Shard: i})
+	}
+	return t
+}
+
+// NumShards returns the tracker's shard-space size.
+func (t *Tracker) NumShards() int { return t.numShards }
+
+// Record folds one observed latency into the shard's live window.
+// Lock-free: an atomic slot claim plus an atomic store.
+func (t *Tracker) Record(shard int, d time.Duration) {
+	if shard < 0 || shard >= t.numShards {
+		return
+	}
+	t.shards[shard].cur.Load().record(d)
+}
+
+// Snapshot rotates every shard's window and publishes the digests: each
+// live window is atomically swapped for a fresh one, summarized, and the
+// summary installed as the shard's last digest. A recorder that loaded
+// the old window just before the swap may land its sample there after
+// the digest was computed; that sample is simply dropped — the tracker
+// is an observability surface, never an input to simulation results.
+func (t *Tracker) Snapshot() []Digest {
+	out := make([]Digest, t.numShards)
+	for i := range t.shards {
+		old := t.shards[i].cur.Swap(&window{})
+		d := digest(i, old)
+		if d.Count == 0 {
+			// An idle interval keeps the previous digest's shape but
+			// reports zero samples, so the rebalancer can tell "cooled
+			// down" from "no traffic".
+			prev := t.shards[i].last.Load()
+			d.P50MS, d.P95MS, d.P99MS, d.MaxMS = prev.P50MS, prev.P95MS, prev.P99MS, prev.MaxMS
+		}
+		t.shards[i].last.Store(&d)
+		out[i] = d
+	}
+	return out
+}
+
+// Last returns the shard's most recently published digest without
+// rotating anything — a lock-free read of the snapshot pointer.
+func (t *Tracker) Last(shard int) Digest {
+	if shard < 0 || shard >= t.numShards {
+		return Digest{Shard: shard}
+	}
+	return *t.shards[shard].last.Load()
+}
+
+// digest summarizes a closed window.
+func digest(shard int, w *window) Digest {
+	d := Digest{Shard: shard}
+	n := w.count.Load()
+	d.Count = n
+	if n == 0 {
+		return d
+	}
+	kept := n
+	if kept > windowCap {
+		kept = windowCap
+	}
+	ns := make([]int64, kept)
+	for i := range ns {
+		ns[i] = w.samples[i].Load()
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	ms := func(v int64) float64 { return float64(v) / float64(time.Millisecond) }
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(ns)))
+		if i >= len(ns) {
+			i = len(ns) - 1
+		}
+		return ms(ns[i])
+	}
+	d.P50MS = pct(0.50)
+	d.P95MS = pct(0.95)
+	d.P99MS = pct(0.99)
+	d.MaxMS = ms(ns[len(ns)-1])
+	return d
+}
+
+// StatsDoc is the GET /shardstats response body.
+type StatsDoc struct {
+	Worker    string   `json:"worker"`
+	NumShards int      `json:"num_shards"`
+	Shards    []Digest `json:"shards"`
+}

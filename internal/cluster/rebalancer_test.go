@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// fakeWorker is a controllable /shardstats + /v1/replica/fill backend
+// for rebalancer tests.
+type fakeWorker struct {
+	id string
+	ts *httptest.Server
+
+	mu      sync.Mutex
+	digests map[int]Digest // shard -> digest reported on the next scrape
+	fills   []FillRequest
+}
+
+func newFakeWorker(t *testing.T, id string, numShards int) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{id: id, digests: map[int]Digest{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /shardstats", func(w http.ResponseWriter, _ *http.Request) {
+		doc := StatsDoc{Worker: id, NumShards: numShards, Shards: make([]Digest, numShards)}
+		fw.mu.Lock()
+		for i := range doc.Shards {
+			doc.Shards[i] = Digest{Shard: i}
+			if d, ok := fw.digests[i]; ok {
+				doc.Shards[i] = d
+			}
+		}
+		fw.mu.Unlock()
+		json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("POST /v1/replica/fill", func(w http.ResponseWriter, r *http.Request) {
+		var req FillRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		fw.mu.Lock()
+		fw.fills = append(fw.fills, req)
+		fw.mu.Unlock()
+		json.NewEncoder(w).Encode(FillResponse{Flights: 1, Objects: 3})
+	})
+	fw.ts = httptest.NewServer(mux)
+	t.Cleanup(fw.ts.Close)
+	return fw
+}
+
+func (fw *fakeWorker) setDigest(shard int, d Digest) {
+	fw.mu.Lock()
+	fw.digests[shard] = d
+	fw.mu.Unlock()
+}
+
+func (fw *fakeWorker) fillCount() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return len(fw.fills)
+}
+
+// TestRebalancerStateMachine drives the full replica lifecycle against
+// fake workers: hot polls trip a replica on the successor (with a fill
+// from the owner), cool polls retire it only after the hysteresis
+// streak, and intermediate non-cool polls reset that streak.
+func TestRebalancerStateMachine(t *testing.T) {
+	const shards = 8
+	w1 := newFakeWorker(t, "w1", shards)
+	w2 := newFakeWorker(t, "w2", shards)
+	workers := map[string]*fakeWorker{"w1": w1, "w2": w2}
+
+	r, err := New(Options{
+		Workers: []Worker{
+			{ID: "w1", URL: w1.ts.URL},
+			{ID: "w2", URL: w2.ts.URL},
+		},
+		NumShards:    shards,
+		RequestID:    contentID,
+		HotP99MS:     100,
+		RecoverP99MS: 25,
+		MinSamples:   4,
+		HotPolls:     2,
+		CoolPolls:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const shard = 3
+	ownerID := Owner([]string{"w1", "w2"}, shard)
+	succID := Successor([]string{"w1", "w2"}, shard)
+	owner, succ := workers[ownerID], workers[succID]
+
+	hot := Digest{Shard: shard, Count: 10, P99MS: 400}
+	cool := Digest{Shard: shard, Count: 10, P99MS: 10}
+	warmish := Digest{Shard: shard, Count: 10, P99MS: 60} // neither hot nor cool
+
+	// Poll 1: hot, but HotPolls=2 — no replica yet.
+	owner.setDigest(shard, hot)
+	r.RebalanceOnce(ctx)
+	if rep := r.ReplicaFor(shard); rep != "" {
+		t.Fatalf("replica %q after one hot poll, want none until HotPolls=2", rep)
+	}
+
+	// Poll 2: still hot — replica trips, successor pulls from owner.
+	r.RebalanceOnce(ctx)
+	if rep := r.ReplicaFor(shard); rep != succID {
+		t.Fatalf("replica = %q, want successor %q", rep, succID)
+	}
+	if succ.fillCount() != 1 {
+		t.Fatalf("successor saw %d fills, want 1", succ.fillCount())
+	}
+	succ.mu.Lock()
+	fill := succ.fills[0]
+	succ.mu.Unlock()
+	if fill.Source != owner.ts.URL || fill.Shard != shard || fill.Shards != shards {
+		t.Fatalf("fill request = %+v, want source=%s shard=%d shards=%d", fill, owner.ts.URL, shard, shards)
+	}
+	if r.Metrics().ReplicasAdded() != 1 {
+		t.Fatalf("replicas added = %d, want 1", r.Metrics().ReplicasAdded())
+	}
+
+	// Poll 3: cool — streak 1 of 2, replica survives.
+	owner.setDigest(shard, cool)
+	r.RebalanceOnce(ctx)
+	if r.ReplicaFor(shard) != succID {
+		t.Fatal("replica retired after one cool poll, want CoolPolls=2 hysteresis")
+	}
+
+	// Poll 4: back to hot — the cool streak resets.
+	owner.setDigest(shard, hot)
+	r.RebalanceOnce(ctx)
+	// Polls 5–6: cool twice in a row — now it retires.
+	owner.setDigest(shard, cool)
+	r.RebalanceOnce(ctx)
+	if r.ReplicaFor(shard) != succID {
+		t.Fatal("cool streak did not reset on the hot poll")
+	}
+	r.RebalanceOnce(ctx)
+	if rep := r.ReplicaFor(shard); rep != "" {
+		t.Fatalf("replica %q still active after sustained recovery", rep)
+	}
+	if r.Metrics().ReplicasRetired() != 1 {
+		t.Fatalf("replicas retired = %d, want 1", r.Metrics().ReplicasRetired())
+	}
+
+	// A merely warm shard must trip nothing.
+	owner.setDigest(shard, warmish)
+	r.RebalanceOnce(ctx)
+	r.RebalanceOnce(ctx)
+	if rep := r.ReplicaFor(shard); rep != "" {
+		t.Fatalf("warm (non-hot) shard gained replica %q", rep)
+	}
+}
+
+// TestRebalancerMinSamples: a tail spike over a handful of requests must
+// not trip a replica.
+func TestRebalancerMinSamples(t *testing.T) {
+	const shards = 4
+	w1 := newFakeWorker(t, "w1", shards)
+	w2 := newFakeWorker(t, "w2", shards)
+	r, err := New(Options{
+		Workers: []Worker{
+			{ID: "w1", URL: w1.ts.URL},
+			{ID: "w2", URL: w2.ts.URL},
+		},
+		NumShards:  shards,
+		RequestID:  contentID,
+		HotP99MS:   100,
+		MinSamples: 16,
+		HotPolls:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.setDigest(1, Digest{Shard: 1, Count: 3, P99MS: 5000})
+	w2.setDigest(1, Digest{Shard: 1, Count: 3, P99MS: 5000})
+	r.RebalanceOnce(context.Background())
+	if rep := r.ReplicaFor(1); rep != "" {
+		t.Fatalf("6 samples tripped replica %q, want MinSamples=16 to gate it", rep)
+	}
+}
+
+// TestRebalancerReplicaDeath: when the replica worker itself dies the
+// slot is cleared without counting a retirement, and the still-hot shard
+// re-replicates once a successor is available again.
+func TestRebalancerReplicaDeath(t *testing.T) {
+	const shards = 4
+	w1 := newFakeWorker(t, "w1", shards)
+	w2 := newFakeWorker(t, "w2", shards)
+	workers := map[string]*fakeWorker{"w1": w1, "w2": w2}
+	r, err := New(Options{
+		Workers: []Worker{
+			{ID: "w1", URL: w1.ts.URL},
+			{ID: "w2", URL: w2.ts.URL},
+		},
+		NumShards:  shards,
+		RequestID:  contentID,
+		HotP99MS:   100,
+		MinSamples: 4,
+		HotPolls:   1,
+		CoolPolls:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const shard = 2
+	ownerID := Owner([]string{"w1", "w2"}, shard)
+	succID := Successor([]string{"w1", "w2"}, shard)
+	workers[ownerID].setDigest(shard, Digest{Shard: shard, Count: 10, P99MS: 500})
+
+	r.RebalanceOnce(ctx)
+	if r.ReplicaFor(shard) != succID {
+		t.Fatalf("replica = %q, want %q", r.ReplicaFor(shard), succID)
+	}
+
+	r.Members().MarkDown(succID)
+	r.RebalanceOnce(ctx)
+	if rep := r.ReplicaFor(shard); rep != "" {
+		t.Fatalf("dead replica %q still routed to", rep)
+	}
+	if r.Metrics().ReplicasRetired() != 0 {
+		t.Fatal("replica death counted as a retirement")
+	}
+
+	// Successor recovers: the still-hot shard re-replicates on the next
+	// poll cycle.
+	r.Members().MarkUp(succID)
+	r.RebalanceOnce(ctx)
+	if r.ReplicaFor(shard) != succID {
+		t.Fatal("recovered successor not re-activated for the still-hot shard")
+	}
+}

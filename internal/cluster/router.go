@@ -1,0 +1,492 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Workers declares the fleet. At least one worker is required; ids
+	// must be unique and stable (they feed the rendezvous hash).
+	Workers []Worker
+	// NumShards sizes the virtual shard space; 0 means DefaultNumShards.
+	// Every worker must be started with the same value.
+	NumShards int
+	// RequestID computes the content-hash request id for a submission
+	// body — injected (cmd/mimdrouter wires serve.ComputeRequestID) so
+	// this package never imports the serving layer.
+	RequestID func(body []byte) (string, error)
+	// Client proxies requests; nil means a client with no overall
+	// timeout (SSE streams are long-lived).
+	Client *http.Client
+	// RetryAfter is the hint returned with 503 when no worker is
+	// available; 0 means 1s.
+	RetryAfter time.Duration
+
+	// HotP99MS trips a shard's replica when its windowed p99 crosses it;
+	// 0 means 250ms.
+	HotP99MS float64
+	// RecoverP99MS retires the replica once p99 stays at or under it;
+	// 0 means HotP99MS/4.
+	RecoverP99MS float64
+	// MinSamples is the smallest window that can trip a replica; 0
+	// means 16.
+	MinSamples int64
+	// HotPolls is how many consecutive hot polls trip a replica; 0
+	// means 1.
+	HotPolls int
+	// CoolPolls is how many consecutive cool polls retire one; 0 means 3
+	// (the "sustained recovery" hysteresis).
+	CoolPolls int
+	// PollInterval paces the rebalancer loop; 0 means 2s.
+	PollInterval time.Duration
+	// ProbeInterval paces the health prober; 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health or stats request; 0 means 500ms.
+	ProbeTimeout time.Duration
+	// ProbeRetries is how many extra immediate attempts (with backoff)
+	// one probe round makes before counting a failure; 0 means 2.
+	ProbeRetries int
+	// ProbeBackoff is the base delay between those attempts, doubled
+	// each retry; 0 means 50ms.
+	ProbeBackoff time.Duration
+	// FailThreshold is how many consecutive failed probe rounds mark a
+	// worker dead; 0 means 2.
+	FailThreshold int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumShards <= 0 {
+		o.NumShards = DefaultNumShards
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.HotP99MS <= 0 {
+		o.HotP99MS = 250
+	}
+	if o.RecoverP99MS <= 0 {
+		o.RecoverP99MS = o.HotP99MS / 4
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 16
+	}
+	if o.HotPolls <= 0 {
+		o.HotPolls = 1
+	}
+	if o.CoolPolls <= 0 {
+		o.CoolPolls = 3
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 2 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 500 * time.Millisecond
+	}
+	if o.ProbeRetries <= 0 {
+		o.ProbeRetries = 2
+	}
+	if o.ProbeBackoff <= 0 {
+		o.ProbeBackoff = 50 * time.Millisecond
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	return o
+}
+
+// shardSlot is one virtual shard's routing state: the active replica (if
+// any), the rebalancer's hysteresis streaks, and a pick counter that
+// alternates reads between owner and replica.
+type shardSlot struct {
+	mu         sync.Mutex
+	replica    string
+	hotStreak  int
+	coolStreak int
+	lastP99MS  float64
+	picks      uint64
+}
+
+// Router is the shard-manager tier: it owns the membership table,
+// proxies submissions to the rendezvous owner of each request's shard,
+// and runs the health prober and the p99 rebalancer.
+type Router struct {
+	opts    Options
+	members *Membership
+	metrics *Metrics
+	shards  []shardSlot
+	probe   *http.Client
+	mux     *http.ServeMux
+}
+
+// New builds a router over the declared fleet.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if opts.RequestID == nil {
+		return nil, fmt.Errorf("cluster: Options.RequestID is required")
+	}
+	members, err := NewMembership(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		opts:    opts,
+		members: members,
+		metrics: newMetrics(),
+		shards:  make([]shardSlot, opts.NumShards),
+		probe:   &http.Client{Timeout: opts.ProbeTimeout},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
+	mux.HandleFunc("GET /v1/experiments", r.handleExperiments)
+	mux.HandleFunc("POST /v1/run", r.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", r.handleByID)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", r.handleByID)
+	r.mux = mux
+	return r, nil
+}
+
+// Members exposes the membership table (tests and cmd/mimdrouter).
+func (r *Router) Members() *Membership { return r.members }
+
+// Metrics exposes the router's counters.
+func (r *Router) Metrics() *Metrics { return r.metrics }
+
+// NumShards returns the router's shard-space size.
+func (r *Router) NumShards() int { return r.opts.NumShards }
+
+// Handler returns the router's HTTP handler with response-code
+// accounting attached.
+func (r *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		cw := &countingWriter{ResponseWriter: w}
+		r.mux.ServeHTTP(cw, req)
+		r.metrics.countRequest(cw.Code())
+	})
+}
+
+// Start launches the health prober and the rebalancer; both stop when
+// ctx is cancelled.
+func (r *Router) Start(ctx context.Context) {
+	go r.probeLoop(ctx)
+	go r.rebalanceLoop(ctx)
+}
+
+// maxBodyBytes bounds a submission body (a spec is a few hundred bytes).
+const maxBodyBytes = 1 << 20
+
+// handleSubmit routes POST /v1/run and POST /v1/jobs: compute the
+// content-hash id, map it to a shard, and proxy to the shard's owner
+// (or, for a replicated hot shard, alternate between owner and replica).
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	if err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	id, err := r.opts.RequestID(body)
+	if err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid spec: %v", err))
+		return
+	}
+	shard := ShardOf(id, r.opts.NumShards)
+	r.proxyToShard(w, req, shard, body)
+}
+
+// handleByID routes GET /v1/jobs/{id} and GET /v1/jobs/{id}/events by
+// the id already embedded in the path — the same shard mapping the
+// submission used, so polls and event streams land on the worker that
+// ran the flight.
+func (r *Router) handleByID(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	shard := ShardOf(id, r.opts.NumShards)
+	r.proxyToShard(w, req, shard, nil)
+}
+
+// handleExperiments proxies the registry listing to any alive worker.
+func (r *Router) handleExperiments(w http.ResponseWriter, req *http.Request) {
+	r.proxyToShard(w, req, 0, nil)
+}
+
+// candidates returns the failover-ordered worker ids for a shard. The
+// first entry is the preferred target: normally the rendezvous owner,
+// but when the shard has an alive replica every other pick is served by
+// it — the read-spreading that relieves a hot shard. replicaRead
+// reports whether the front candidate is the replica rather than the
+// owner.
+func (r *Router) candidates(shard int) (ids []string, replicaRead bool) {
+	alive := r.members.AliveIDs()
+	if len(alive) == 0 {
+		return nil, false
+	}
+	rank := Rank(alive, shard)
+	slot := &r.shards[shard]
+	slot.mu.Lock()
+	rep := slot.replica
+	pick := slot.picks
+	slot.picks++
+	slot.mu.Unlock()
+	if rep == "" || !r.members.Alive(rep) || rep == rank[0] || pick%2 == 0 {
+		return rank, false
+	}
+	// Move the replica to the front, keeping the rest as failovers.
+	out := make([]string, 0, len(rank))
+	out = append(out, rep)
+	for _, id := range rank {
+		if id != rep {
+			out = append(out, id)
+		}
+	}
+	return out, true
+}
+
+// proxyToShard forwards the request to the shard's candidates in order,
+// failing over (and passively marking workers down) on connection
+// errors. Once a worker has started answering, the response streams
+// through; if the worker dies mid-stream the router appends a terminal
+// error frame so the client can tell "worker lost" from "complete".
+func (r *Router) proxyToShard(w http.ResponseWriter, req *http.Request, shard int, body []byte) {
+	cands, replicaRead := r.candidates(shard)
+	for i, id := range cands {
+		target := r.members.URL(id)
+		out, err := http.NewRequestWithContext(req.Context(), req.Method,
+			target+req.URL.Path, bodyReader(body))
+		if err != nil {
+			r.writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		out.URL.RawQuery = req.URL.RawQuery
+		copyHeader(out.Header, req.Header, "Content-Type", "Accept")
+		resp, err := r.opts.Client.Do(out)
+		if err != nil {
+			if req.Context().Err() != nil {
+				// The client went away; nothing to answer.
+				return
+			}
+			// The worker is unreachable: passive failure detection. The
+			// prober will notice recovery.
+			r.members.MarkDown(id)
+			if i+1 < len(cands) {
+				r.metrics.countFailover()
+			}
+			replicaRead = false
+			continue
+		}
+		r.metrics.countProxied(id, replicaRead && i == 0)
+		r.relay(w, resp)
+		return
+	}
+	r.metrics.countNoWorker()
+	r.writeError(w, http.StatusServiceUnavailable, "no worker available for shard "+strconv.Itoa(shard))
+}
+
+// bodyReader wraps a buffered body for one proxy attempt (nil for GETs).
+func bodyReader(body []byte) io.Reader {
+	if body == nil {
+		return nil
+	}
+	return bytes.NewReader(body)
+}
+
+// relay streams the worker's response through, flushing as bytes arrive
+// so SSE frames are delivered live. A mid-stream upstream failure
+// appends a terminal error frame matched to the stream's content type.
+func (r *Router) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	ct := resp.Header.Get("Content-Type")
+	copyHeader(w.Header(), resp.Header, "Content-Type", "Retry-After", "Cache-Control")
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			// The worker died mid-stream. Clients distinguish this frame
+			// from the worker's own terminal "end" frame and resubmit;
+			// the resubmission routes to the next candidate (or the
+			// shard's replica).
+			switch {
+			case strings.Contains(ct, "text/event-stream"):
+				fmt.Fprint(w, "event: error\ndata: {\"error\":\"worker connection lost\"}\n\n")
+			case strings.Contains(ct, "application/x-ndjson"):
+				fmt.Fprint(w, "{\"event\":\"error\",\"error\":\"worker connection lost\"}\n")
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+	}
+}
+
+// copyHeader copies the named headers that are present in src.
+func copyHeader(dst, src map[string][]string, names ...string) {
+	for _, name := range names {
+		if vs, ok := src[name]; ok {
+			dst[name] = vs
+		}
+	}
+}
+
+func (r *Router) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+		secs := int((r.opts.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+// ActiveReplicas counts shards currently routing through a replica.
+func (r *Router) ActiveReplicas() int {
+	n := 0
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		if r.shards[i].replica != "" {
+			n++
+		}
+		r.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// ReplicaFor returns the shard's active replica id ("" when none) —
+// observability for /v1/cluster and tests.
+func (r *Router) ReplicaFor(shard int) string {
+	if shard < 0 || shard >= len(r.shards) {
+		return ""
+	}
+	r.shards[shard].mu.Lock()
+	defer r.shards[shard].mu.Unlock()
+	return r.shards[shard].replica
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	alive := r.members.AliveCount()
+	total := len(r.members.Workers())
+	status, code := "ok", http.StatusOK
+	switch {
+	case alive == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case alive < total:
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"alive\":%d,\"workers\":%d,\"membership_version\":%d}\n",
+		status, alive, total, r.members.Version())
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, r.metrics.Render(r.members.AliveCount(), r.members.Version(), r.ActiveReplicas()))
+}
+
+// clusterWorker is one row of the /v1/cluster worker listing.
+type clusterWorker struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+}
+
+// clusterReplica is one row of the /v1/cluster replica listing.
+type clusterReplica struct {
+	Shard   int     `json:"shard"`
+	Replica string  `json:"replica"`
+	P99MS   float64 `json:"p99_ms"`
+}
+
+func (r *Router) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	workers := make([]clusterWorker, 0, len(r.members.Workers()))
+	for _, wk := range r.members.Workers() {
+		workers = append(workers, clusterWorker{ID: wk.ID, URL: wk.URL, Alive: r.members.Alive(wk.ID)})
+	}
+	var replicas []clusterReplica
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		if r.shards[i].replica != "" {
+			replicas = append(replicas, clusterReplica{
+				Shard: i, Replica: r.shards[i].replica, P99MS: r.shards[i].lastP99MS,
+			})
+		}
+		r.shards[i].mu.Unlock()
+	}
+	doc := struct {
+		MembershipVersion uint64           `json:"membership_version"`
+		NumShards         int              `json:"num_shards"`
+		Workers           []clusterWorker  `json:"workers"`
+		Replicas          []clusterReplica `json:"replicas,omitempty"`
+	}{r.members.Version(), r.opts.NumShards, workers, replicas}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// countingWriter records the status code for the request counter.
+type countingWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	if c.code == 0 {
+		c.code = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	if c.code == 0 {
+		c.code = http.StatusOK
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+// Flush lets streaming handlers flush through the counter.
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (c *countingWriter) Code() int {
+	if c.code == 0 {
+		return http.StatusOK
+	}
+	return c.code
+}

@@ -3,7 +3,8 @@ package lint
 import "testing"
 
 func TestDeterminismFixture(t *testing.T) {
-	// The fixture seeds eleven violations — the math/rand import, a map
+	// The fixture seeds twelve violations — two math/rand imports (the
+	// original fixture file and the random shard pick), a map
 	// range that prints, one that appends without sorting, one that
 	// returns an iteration element, a time.Now call, a map range that
 	// journals through json.Encoder, one that emits report rows, a
@@ -12,8 +13,10 @@ func TestDeterminismFixture(t *testing.T) {
 	// from the wall clock, and a sweep-job body bounded by a time.After
 	// deadline — while the collect-then-sort, any-match, commutative-fold,
 	// map-fill, sorted-journal, ignore-waived, sorted-snapshot, seeded
-	// fault-plan, content-hash request-id and cycle-budget job forms stay
-	// silent. Diagnostics arrive sorted by position, i.e. source order.
+	// fault-plan, content-hash request-id, cycle-budget job and
+	// rendezvous shard-pick forms stay silent. Diagnostics arrive sorted
+	// by position, i.e. source order (determinism.go, jobs.go,
+	// shardpick.go).
 	expectDiags(t, runOn(t, "testdata/determinism"), [][2]string{
 		{"determinism", "import of math/rand"},
 		{"determinism", "reaches output through fmt.Println"},
@@ -26,5 +29,6 @@ func TestDeterminismFixture(t *testing.T) {
 		{"determinism", "wall-clock input"},
 		{"determinism", "wall-clock input"},
 		{"determinism", "time.After: wall-clock input"},
+		{"determinism", "import of math/rand"},
 	})
 }

@@ -1,0 +1,35 @@
+package determinism
+
+import (
+	"hash/fnv"
+	"math/rand" // want: seeded generator required
+	"sort"
+)
+
+// PickShardRandom is the seeded violation: choosing a worker for a
+// request with a PRNG means the same request id can land on different
+// workers run to run — coalescing breaks, caches shard-randomly, and a
+// resubmission cannot find the flight that ran it.
+func PickShardRandom(workers []string) string {
+	return workers[rand.Intn(len(workers))]
+}
+
+// PickShardRendezvous is the blessed idiom: rendezvous (highest random
+// weight) hashing. The pick is a pure function of (request id, worker
+// id), so every router instance — and every rerun — agrees on the owner,
+// and removing a worker only moves the requests that worker owned.
+func PickShardRendezvous(id string, workers []string) string {
+	best, bestScore := "", uint64(0)
+	sorted := append([]string(nil), workers...)
+	sort.Strings(sorted)
+	for _, w := range sorted {
+		h := fnv.New64a()
+		h.Write([]byte(w))
+		h.Write([]byte{'|'})
+		h.Write([]byte(id))
+		if s := h.Sum64(); best == "" || s > bestScore {
+			best, bestScore = w, s
+		}
+	}
+	return best
+}

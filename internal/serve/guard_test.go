@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+func testResult(key string) *sweep.Result {
+	tb := &report.Table{ID: "t", Title: "test table", Columns: []string{"c"}}
+	tb.AddRow("1")
+	return &sweep.Result{Key: key, Spec: sweep.JobSpec{Experiment: "fig7-1", Seed: 1, Scale: 1}, Table: tb}
+}
+
+// corruptObject flips bytes in the stored object file so the next Get
+// quarantines it.
+func corruptObject(t *testing.T, dir, key string) {
+	t.Helper()
+	path := filepath.Join(dir, "objects", key+".json")
+	if err := os.WriteFile(path, []byte(`{"sha256":"beef","result":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGuardQuarantineThenRepair: after a Get quarantines a corrupt
+// entry, the key reads as a miss until the repairing Put lands, and then
+// serves normally again.
+func TestGuardQuarantineThenRepair(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := sweep.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newStoreGuard(ds)
+
+	res := testResult("k1")
+	if err := g.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := g.Get("k1"); !ok {
+		t.Fatal("fresh put not readable")
+	}
+
+	corruptObject(t, dir, "k1")
+	if _, ok, _ := g.Get("k1"); ok {
+		t.Fatal("corrupt object served")
+	}
+	// The key is now in repair: reads miss without touching the store.
+	if _, ok, _ := g.Get("k1"); ok {
+		t.Fatal("repairing key served")
+	}
+	if err := g.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := g.Get("k1"); !ok {
+		t.Fatal("repaired key not served after Put")
+	}
+}
+
+// TestGuardQuarantinePutRace is the satellite-2 regression test, run
+// under -race: concurrent fast-path probes (Get) and engine flights
+// (Put) on the same key, with periodic corruption injections. The guard
+// must never let a probe's read-validate-quarantine interleave with a
+// flight's Put — after every repair cycle the key must come back
+// readable, and the store must never serve a half-written object.
+func TestGuardQuarantinePutRace(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := sweep.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newStoreGuard(ds)
+
+	const key = "raced"
+	res := testResult(key)
+	if err := g.Put(res); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+
+	// Probes: the serve fast path hammering Get.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, ok, err := g.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("get: %v", err)
+					return
+				}
+				if ok && res.Table == nil {
+					errs <- fmt.Errorf("served a result with no table")
+					return
+				}
+			}
+		}()
+	}
+	// Flights: engine re-runs putting the same content-addressed key.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := g.Put(res); err != nil {
+					errs <- fmt.Errorf("put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Corruptor: periodically smashes the on-disk object, standing in
+	// for the torn writes the old fixed-name temp file allowed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			os.WriteFile(filepath.Join(dir, "objects", key+".json"),
+				[]byte(`{"sha256":"beef","result":{}}`), 0o644)
+		}
+	}()
+
+	for i := 0; i < 2000; i++ {
+		g.Get(key)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Settle: one final Put must make the key cleanly readable.
+	if err := g.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := g.Get(key); !ok || err != nil {
+		t.Fatalf("key unreadable after settle: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestGuardRawRoundTrip: raw accessors share the guard's repair
+// semantics and preserve bytes exactly.
+func TestGuardRawRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := sweep.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newStoreGuard(ds)
+
+	payload := []byte(`{"key":"kr","spec":{"experiment":"fig7-1","seed":1,"scale":1},"table":null}`)
+	if err := g.PutRaw("kr", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := g.GetRaw("kr")
+	if err != nil || !ok {
+		t.Fatalf("GetRaw: ok=%v err=%v", ok, err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("raw round trip changed bytes:\n in: %s\nout: %s", payload, got)
+	}
+}

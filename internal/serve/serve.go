@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/sweep"
 )
@@ -53,6 +54,19 @@ type Options struct {
 	// FaultRunner overrides the fault-campaign cell runner (tests); nil
 	// means fault.NewCellRunner.
 	FaultRunner func(fault.CampaignConfig) sweep.Runner
+	// Worker enables the cluster worker surface: /shardstats latency
+	// digests plus the /v1/replica pull API the router's rebalancer uses
+	// to fill read replicas (DESIGN.md S25).
+	Worker bool
+	// ShardStats enables /shardstats alone, without the replica API.
+	ShardStats bool
+	// NumShards sizes the virtual shard space the latency digests are
+	// bucketed by; it must match the router's. 0 means
+	// cluster.DefaultNumShards.
+	NumShards int
+	// WorkerID names this worker in cluster documents (manifest,
+	// shardstats); defaults to empty.
+	WorkerID string
 }
 
 func (o Options) runner() sweep.Runner {
@@ -126,6 +140,12 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
+	// tracker holds the per-shard latency windows behind /shardstats
+	// (nil unless Worker or ShardStats is set).
+	tracker *cluster.Tracker
+	// replicaClient performs replica-fill pulls against peer workers.
+	replicaClient *http.Client
+
 	mu        sync.Mutex
 	draining  bool
 	flights   map[string]*flight // active, by request id
@@ -155,6 +175,14 @@ func New(opts Options) *Server {
 	if opts.Store == nil {
 		opts.Store = sweep.NewMemStore()
 	}
+	// Every store access — fast-path probes, engine flights, replica
+	// fills — goes through the quarantine guard so a probe's
+	// read-validate-quarantine can never race a concurrent Put of the
+	// same key (see guard.go).
+	opts.Store = newStoreGuard(opts.Store)
+	if opts.NumShards <= 0 {
+		opts.NumShards = cluster.DefaultNumShards
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
@@ -173,6 +201,16 @@ func New(opts Options) *Server {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	if opts.Worker || opts.ShardStats {
+		s.tracker = cluster.NewTracker(opts.NumShards)
+		mux.HandleFunc("GET /shardstats", s.handleShardStats)
+	}
+	if opts.Worker {
+		s.replicaClient = &http.Client{Timeout: 30 * time.Second}
+		mux.HandleFunc("GET /v1/replica/manifest", s.handleReplicaManifest)
+		mux.HandleFunc("GET /v1/replica/objects/{key}", s.handleReplicaObject)
+		mux.HandleFunc("POST /v1/replica/fill", s.handleReplicaFill)
+	}
 	s.mux = mux
 	return s
 }
@@ -252,6 +290,7 @@ var errDraining = errors.New("serve: shutting down")
 func (s *Server) runFlight(f *flight) {
 	defer s.wg.Done()
 	f.resp, f.code = s.execute(f)
+	s.recordShardLatency(f.id, time.Duration(f.resp.WallMS*float64(time.Millisecond)))
 	s.mu.Lock()
 	delete(s.flights, f.id)
 	s.done[f.id] = f

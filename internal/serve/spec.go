@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -167,6 +169,25 @@ func requestID(r *request) string {
 	}
 	sum := h.Sum(nil)
 	return "req-" + hex.EncodeToString(sum[:12])
+}
+
+// ComputeRequestID derives the content-hash request id a server built
+// with opts would assign the given raw spec body — the router's routing
+// key. Because the id is a pure content hash, the router and every
+// worker agree on it without coordination; opts must carry the same
+// JobTimeout the workers run with (the timeout is part of the hash).
+func ComputeRequestID(body []byte, opts Options) (string, error) {
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return "", fmt.Errorf("bad spec: %w", err)
+	}
+	req, err := normalize(spec, opts)
+	if err != nil {
+		return "", fmt.Errorf("invalid spec: %w", err)
+	}
+	return req.id, nil
 }
 
 // ExperimentInfo is one row of the /v1/experiments listing.

@@ -54,6 +54,19 @@ type Store interface {
 	AppendJournal(line JournalLine) error
 }
 
+// RawStore is the optional replication surface of a Store: access to a
+// result's exact payload bytes. Replica fills copy payloads verbatim so
+// a replica's envelopes are byte-identical to the owner's — re-encoding
+// a decoded Result could never guarantee that. Both MemStore and
+// DirStore implement it.
+type RawStore interface {
+	// GetRaw returns the verified payload bytes for key, if present.
+	GetRaw(key string) ([]byte, bool, error)
+	// PutRaw stores payload under key exactly as given (the DirStore
+	// wraps it in a fresh checksummed envelope).
+	PutRaw(key string, payload []byte) error
+}
+
 // MemStore is an in-memory Store: the default when no cache directory is
 // configured, and the store the benchmarks use so every iteration is
 // cold.
@@ -92,6 +105,29 @@ func (m *MemStore) Put(res *Result) error {
 	}
 	m.mu.Lock()
 	m.objects[res.Key] = data
+	m.mu.Unlock()
+	return nil
+}
+
+// GetRaw implements RawStore.
+func (m *MemStore) GetRaw(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	data, ok := m.objects[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, true, nil
+}
+
+// PutRaw implements RawStore.
+func (m *MemStore) PutRaw(key string, payload []byte) error {
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	m.mu.Lock()
+	m.objects[key] = data
 	m.mu.Unlock()
 	return nil
 }
@@ -272,6 +308,36 @@ func (d *DirStore) Put(res *Result) error {
 	if err != nil {
 		return err
 	}
+	return d.PutRaw(res.Key, payload)
+}
+
+// GetRaw implements RawStore: the checksum-verified payload bytes, with
+// the same quarantine-on-corruption semantics as Get.
+func (d *DirStore) GetRaw(key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(d.objectPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false, d.quarantine(key)
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, false, d.quarantine(key)
+	}
+	return []byte(env.Result), true, nil
+}
+
+// PutRaw implements RawStore. The temp file gets a unique name
+// (os.CreateTemp), so two concurrent writers of the same key can never
+// interleave into one torn temp file; the final rename is atomic and
+// last-writer-wins with byte-identical content for content-addressed
+// keys.
+func (d *DirStore) PutRaw(key string, payload []byte) error {
 	sum := sha256.Sum256(payload)
 	data, err := json.Marshal(envelope{
 		SHA256: hex.EncodeToString(sum[:]),
@@ -280,12 +346,21 @@ func (d *DirStore) Put(res *Result) error {
 	if err != nil {
 		return err
 	}
-	path := d.objectPath(res.Key)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.CreateTemp(filepath.Join(d.dir, "objects"), key+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmp := f.Name()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, d.objectPath(key))
 }
 
 // JournalKeys implements Store. Unparsable lines (a torn append from an

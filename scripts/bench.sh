@@ -4,6 +4,7 @@
 #   bench.sh [sweep] [out]       sweep-engine benchmark -> BENCH_sweep.json
 #   bench.sh core [out]          core cycle-loop benchmark -> BENCH_core.json
 #   bench.sh serve [out]         service-layer load test -> BENCH_serve.json
+#   bench.sh cluster [out]       cluster scaling curve -> BENCH_cluster.json
 #   bench.sh all                 all of the above, default outputs
 #
 # sweep: runs each benchmark experiment three ways — cold serial
@@ -22,6 +23,12 @@
 # records latency percentiles, the warm/cold speedup (floor: 5x), and
 # the server's coalescing/cache counters (schema serve-bench-v1; see
 # cmd/loadgen/main.go).
+#
+# cluster: for 1, 2 and 4 workers, boots an embedded mimdrouter fleet
+# over cold stores and drives Zipf-skewed traffic (with the mid-run
+# hot-key shift) through the router, recording per-point latency,
+# throughput and the router's replica/failover counters (schema
+# cluster-bench-v1; see cmd/loadgen/cluster.go).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -45,10 +52,17 @@ serve)
 	go run ./cmd/loadgen -min-speedup 5 -o "$out"
 	echo "==> wrote $out"
 	;;
+cluster)
+	out=${2:-BENCH_cluster.json}
+	echo "==> go run ./cmd/loadgen -cluster 1,2,4 -skew 1.2 -seed 1 -o $out"
+	go run ./cmd/loadgen -cluster 1,2,4 -skew 1.2 -seed 1 -o "$out"
+	echo "==> wrote $out"
+	;;
 all)
 	sh "$0" sweep
 	sh "$0" core
 	sh "$0" serve
+	sh "$0" cluster
 	;;
 *)
 	# Backward compatibility: a bare output path means the sweep mode.
@@ -57,7 +71,7 @@ all)
 		sh "$0" sweep "$mode"
 		;;
 	*)
-		echo "bench.sh: unknown mode '$mode' (want sweep, core, serve, or all)" >&2
+		echo "bench.sh: unknown mode '$mode' (want sweep, core, serve, cluster, or all)" >&2
 		exit 2
 		;;
 	esac

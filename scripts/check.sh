@@ -29,6 +29,11 @@
 #  10. serve       a bounded smoke of the S24 service daemon: boot on a
 #                  loopback port, run an experiment over HTTP, verify the
 #                  identical resubmission is a pure cache hit, and drain
+#  11. router      a bounded smoke of the S25 cluster tier: in-process
+#                  router + 2 workers; verifies sharded routing,
+#                  cross-worker coalescing, a rebalancer-triggered
+#                  replica read, and 503 + Retry-After with the fleet
+#                  down
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -66,5 +71,8 @@ go run ./cmd/faultcampaign -smoke
 
 echo "==> mimdserved -smoke"
 go run ./cmd/mimdserved -smoke
+
+echo "==> mimdrouter -smoke"
+go run ./cmd/mimdrouter -smoke
 
 echo "==> all checks passed"
