@@ -39,8 +39,9 @@ func main() {
 		format    = flag.String("format", "plain", "output format: plain, markdown, csv")
 		outPath   = flag.String("o", "", "write the report here instead of stdout")
 		events    = flag.String("events", "", "write JSONL progress events to this file (\"-\" = stderr)")
+		batchRun  = flag.Bool("batch", true, "recycle one trial machine per protocol shape by generation reset; -batch=false rebuilds per trial")
 		listCls   = flag.Bool("list-classes", false, "list fault classes and exit")
-		smoke     = flag.Bool("smoke", false, "bounded self-check: byte-identical -j1 vs -j4 reports and zero silent divergences in detectable classes")
+		smoke     = flag.Bool("smoke", false, "bounded self-check: byte-identical -j1 vs -j4 and batched vs unbatched reports, zero silent divergences in detectable classes")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "faultcampaign -smoke:", err)
 			os.Exit(1)
 		}
-		fmt.Println("faultcampaign smoke ok: -j4 report byte-identical to -j1; zero silent divergences in detectable classes")
+		fmt.Println("faultcampaign smoke ok: -j4 and batched reports byte-identical to -j1; zero silent divergences in detectable classes")
 		return
 	}
 
@@ -94,7 +95,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	eng := sweep.New(sweep.Options{Workers: *workers, Store: store, Events: eventsW, Runner: fault.NewCellRunner(cfg)})
+	opts := sweep.Options{Workers: *workers, Store: store, Events: eventsW, Runner: fault.NewCellRunner(cfg)}
+	if *batchRun {
+		// With both runners set, the engine fuses same-cell job groups and
+		// hands each group a batch arena; -batch=false keeps only the
+		// per-trial fresh-machine runner.
+		opts.BatchRunner = fault.NewBatchCellRunner(cfg)
+	}
+	eng := sweep.New(opts)
 	out, err := eng.Run(ctx, cfg.Specs())
 	if code := sweep.ReportRunError(os.Stderr, "faultcampaign", out, err); code != 0 {
 		os.Exit(code)
@@ -161,9 +169,9 @@ func splitList(list string) []string {
 	return out
 }
 
-// runSmoke is the CI gate: a small campaign run serially and in parallel
-// must render byte-identical reports, and no detectable fault class may
-// produce a silent divergence.
+// runSmoke is the CI gate: a small campaign run serially, in parallel,
+// and batched must render byte-identical reports, and no detectable
+// fault class may produce a silent divergence.
 func runSmoke() error {
 	cfg := fault.CampaignConfig{
 		Protocols: []string{"rb", "rwb"},
@@ -174,30 +182,37 @@ func runSmoke() error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	run := func(workers int) (*sweep.Outcome, error) {
-		eng := sweep.New(sweep.Options{Workers: workers, Runner: fault.NewCellRunner(cfg)})
-		return eng.Run(context.Background(), cfg.Specs())
+	run := func(workers int, batch bool) (string, *sweep.Outcome, error) {
+		opts := sweep.Options{Workers: workers, Runner: fault.NewCellRunner(cfg)}
+		if batch {
+			opts.BatchRunner = fault.NewBatchCellRunner(cfg)
+		}
+		out, err := sweep.New(opts).Run(context.Background(), cfg.Specs())
+		if err != nil {
+			return "", nil, err
+		}
+		rep, err := fault.RenderReport(cfg, out, "plain")
+		return rep, out, err
 	}
-	serial, err := run(1)
+	serial, _, err := run(1, false)
 	if err != nil {
 		return err
 	}
-	parallel, err := run(4)
+	parallel, out, err := run(4, false)
 	if err != nil {
 		return err
 	}
-	a, err := fault.RenderReport(cfg, serial, "plain")
-	if err != nil {
-		return err
-	}
-	b, err := fault.RenderReport(cfg, parallel, "plain")
-	if err != nil {
-		return err
-	}
-	if a != b {
+	if serial != parallel {
 		return fmt.Errorf("-j4 report differs from -j1")
 	}
-	bad, err := fault.SilentViolations(parallel)
+	batched, _, err := run(4, true)
+	if err != nil {
+		return err
+	}
+	if batched != serial {
+		return fmt.Errorf("batched report differs from unbatched")
+	}
+	bad, err := fault.SilentViolations(out)
 	if err != nil {
 		return err
 	}

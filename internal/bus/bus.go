@@ -424,6 +424,31 @@ func New(mem Memory) *Bus {
 // SetInjector installs (or, with nil, removes) the fault injector.
 func (b *Bus) SetInjector(inj Injector) { b.inj = inj }
 
+// Reset returns the bus to its freshly constructed state — no asserted
+// request lines, free lock register, zero counters, no injector or trace
+// hook — while keeping every attachment (snoopers, requesters, presence
+// table, interleave identity, memory latency). The registries were
+// resolved at Attach time and are part of the machine's shape, not its
+// run state, so a recycled bus re-runs a workload exactly as a new one.
+func (b *Bus) Reset() {
+	b.slots = b.slots[:0]
+	for i := range b.slotted {
+		b.slotted[i] = false
+	}
+	b.stalled = b.stalled[:0]
+	b.targets = b.targets[:0]
+	b.priority = -1
+	b.lastWin = -1
+	b.busyUntil = 0
+	b.cycle = 0
+	b.lockHolder = -1
+	b.lockAddr = 0
+	b.stats = Stats{}
+	b.inj = nil
+	b.muteSnoops = false
+	b.Trace = nil
+}
+
 // Locked reports the current lock register (holder -1 when free).
 func (b *Bus) Locked() (holder int, addr Addr) { return b.lockHolder, b.lockAddr }
 

@@ -29,6 +29,11 @@ package bus
 type Presence struct {
 	//phase:any
 	pages []*presencePage
+	// gen is the table generation; pages stamped with an older value hold
+	// no ids (they are cleared and re-stamped on the next Add). Written
+	// only by Reset, between runs — never from phase code — so it carries
+	// no phase annotation.
+	gen uint64
 	//phase:any
 	sparse map[Addr]uint64 // addresses >= presenceDenseLimit
 }
@@ -46,11 +51,21 @@ const (
 type presencePage struct {
 	//phase:any
 	masks [presencePageWords]uint64
+	//phase:any
+	gen uint64 // Presence.gen value this page's masks belong to
 }
 
 // NewPresence returns an empty table.
 func NewPresence() *Presence {
 	return &Presence{}
+}
+
+// Reset empties the table without releasing its pages: the generation
+// counter is bumped, so every dense page reads as holder-free and is
+// cleared in place the first time the new generation records a holder.
+func (p *Presence) Reset() {
+	p.gen++
+	clear(p.sparse)
 }
 
 // Add records that snooper id holds a frame for a. The page-growth
@@ -70,8 +85,13 @@ func (p *Presence) Add(a Addr, id int) {
 		pg := p.pages[pi]
 		if pg == nil {
 			//lint:ignore allocaudit one-time allocation of a dense page
-			pg = &presencePage{}
+			pg = &presencePage{gen: p.gen}
 			p.pages[pi] = pg
+		} else if pg.gen != p.gen {
+			// Recycled from before the last Reset: clear in place, never
+			// reallocate — the whole point of the generation stamp.
+			pg.masks = [presencePageWords]uint64{}
+			pg.gen = p.gen
 		}
 		pg.masks[a&presencePageMask] |= 1 << uint(id)
 		return
@@ -90,7 +110,7 @@ func (p *Presence) Add(a Addr, id int) {
 func (p *Presence) Remove(a Addr, id int) {
 	if a < presenceDenseLimit {
 		pi := int(a >> presencePageBits)
-		if pi < len(p.pages) && p.pages[pi] != nil {
+		if pi < len(p.pages) && p.pages[pi] != nil && p.pages[pi].gen == p.gen {
 			p.pages[pi].masks[a&presencePageMask] &^= 1 << uint(id)
 		}
 		return
@@ -109,7 +129,7 @@ func (p *Presence) Remove(a Addr, id int) {
 func (p *Presence) Mask(a Addr) uint64 {
 	if a < presenceDenseLimit {
 		pi := int(a >> presencePageBits)
-		if pi < len(p.pages) && p.pages[pi] != nil {
+		if pi < len(p.pages) && p.pages[pi] != nil && p.pages[pi].gen == p.gen {
 			return p.pages[pi].masks[a&presencePageMask]
 		}
 		return 0

@@ -249,6 +249,31 @@ func New(id int, proto coherence.Protocol, cfg Config) (*Cache, error) {
 	return &Cache{id: id, proto: proto, cfg: cfg, sets: sets, nsets: nsets}, nil
 }
 
+// Reset returns the cache to its freshly constructed state — every frame
+// invalid, no in-flight operation, no memoized plan, zero counters —
+// without reallocating the line arena. Identity (id, protocol, geometry)
+// and wiring (OnResolve, presence table) survive: they are the machine's
+// shape, re-applied by the machine when it differs. The caller owns the
+// presence table and resets it separately; the cache starts with no
+// valid frames, so it needs no un-recording here.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.useClock = 0
+	c.pend = pending{}
+	c.hasPend = false
+	c.resolved = 0
+	c.hasResolved = false
+	c.planOK = false
+	c.planReq = bus.Request{}
+	c.planNeed = false
+	c.gen = 0
+	c.stats = Stats{}
+}
+
 // MustNew is New panicking on error, for tests and fixed-config tools.
 func MustNew(id int, proto coherence.Protocol, cfg Config) *Cache {
 	c, err := New(id, proto, cfg)

@@ -44,19 +44,17 @@ func AssocRows(p Params) ([]AssocRow, error) {
 	for _, size := range []int{512, 2048} {
 		for _, ways := range []int{1, 2, 4} {
 			layout := workload.DefaultLayout()
-			agents := make([]workload.Agent, pes)
-			for i := range agents {
-				app, err := workload.NewApp(workload.PDEProfile(), layout, i, p.Seed, refs)
-				if err != nil {
-					return nil, err
-				}
-				agents[i] = app
-			}
-			m, err := machine.New(machine.Config{
+			m, err := p.Machine(fmt.Sprintf("assoc/size=%d/ways=%d", size, ways), machine.Config{
 				Protocol:   coherence.CmStar{},
 				CacheLines: size,
 				CacheWays:  ways,
-			}, agents)
+			}, func() []workload.Agent {
+				agents := make([]workload.Agent, pes)
+				for i := range agents {
+					agents[i] = workload.MustApp(workload.PDEProfile(), layout, i, p.Seed, refs)
+				}
+				return agents
+			})
 			if err != nil {
 				return nil, err
 			}

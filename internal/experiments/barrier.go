@@ -45,26 +45,34 @@ func BarrierRows(p Params) ([]BarrierRow, error) {
 	rounds := 10 * p.Scale
 	var rows []BarrierRow
 	for _, proto := range []coherence.Protocol{coherence.RB{}, coherence.NewRWB(2), coherence.Goodman{}, coherence.WriteThrough{}, coherence.NoCache{}} {
-		var agents []workload.Agent
 		var barriers []*workload.Barrier
-		for i := 0; i < pes; i++ {
-			b, err := workload.NewBarrier(workload.BarrierConfig{
-				Lock: 0, Counter: 1, Sense: 2, Progress: 16,
-				Participants: pes, Rounds: rounds,
-				WorkCycles: 1 + 15*i,
-				ID:         i,
-			})
-			if err != nil {
-				return nil, err
-			}
-			barriers = append(barriers, b)
-			agents = append(agents, b)
-		}
-		m, err := machine.New(machine.Config{
+		var buildErr error
+		m, err := p.Machine("barrier/"+proto.Name(), machine.Config{
 			Protocol:         proto,
 			CacheLines:       64,
 			CheckConsistency: true,
-		}, agents)
+		}, func() []workload.Agent {
+			barriers = barriers[:0]
+			agents := make([]workload.Agent, 0, pes)
+			for i := 0; i < pes; i++ {
+				b, err := workload.NewBarrier(workload.BarrierConfig{
+					Lock: 0, Counter: 1, Sense: 2, Progress: 16,
+					Participants: pes, Rounds: rounds,
+					WorkCycles: 1 + 15*i,
+					ID:         i,
+				})
+				if err != nil {
+					buildErr = err
+					return nil
+				}
+				barriers = append(barriers, b)
+				agents = append(agents, b)
+			}
+			return agents
+		})
+		if buildErr != nil {
+			return nil, buildErr
+		}
 		if err != nil {
 			return nil, err
 		}

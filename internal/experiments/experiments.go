@@ -8,6 +8,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/batch"
+	"repro/internal/machine"
+	"repro/internal/workload"
 )
 
 // Params tunes an experiment run.
@@ -18,6 +22,26 @@ type Params struct {
 	// by the tests, 10 the publication-quality one used by cmd/paperrepro
 	// -full.
 	Scale int
+	// Arena, when non-nil, recycles machines across same-shape trials
+	// (seed-only deltas) via generation reset instead of reconstruction.
+	// The sweep engine attaches one arena per fused job group; it is not
+	// an axis and never participates in cache keys. Experiments reach it
+	// through Params.Machine.
+	Arena *batch.Arena
+}
+
+// Machine builds (or, with an arena attached, recycles) a machine for
+// one trial. shape must uniquely name the configuration within the
+// experiment — protocol, PE count, cache geometry, anything that changes
+// cfg or the agents beyond the seed. agents() must construct the agents
+// for this trial's Params.Seed; with an arena, Reseeder agents are
+// re-seeded in place and others rebuilt on the recycled machine (see
+// batch.Arena.Machine).
+func (p Params) Machine(shape string, cfg machine.Config, agents func() []workload.Agent) (*machine.Machine, error) {
+	if p.Arena != nil {
+		return p.Arena.Machine(shape, cfg, p.Seed, agents)
+	}
+	return machine.New(cfg, agents())
 }
 
 func (p Params) withDefaults() Params {

@@ -45,28 +45,36 @@ func RMWStyleRows(p Params) ([]RMWStyleRow, error) {
 	var rows []RMWStyleRow
 	for _, twoPhase := range []bool{false, true} {
 		for _, strat := range []workload.Strategy{workload.StrategyTS, workload.StrategyTTS} {
-			agents := make([]workload.Agent, pes)
-			locks := make([]*workload.Spinlock, pes)
-			for i := range agents {
-				s, err := workload.NewSpinlock(workload.SpinlockConfig{
-					Lock: 100, Strategy: strat, Iterations: iters,
-					CriticalReads: 3, CriticalWrites: 3,
-					GuardedBase: 200, GuardedWords: 8,
-					Seed: p.Seed + uint64(i),
-				})
-				if err != nil {
-					return nil, err
-				}
-				locks[i] = s
-				agents[i] = s
-			}
-			m, err := machine.New(machine.Config{
+			var locks []*workload.Spinlock
+			var buildErr error
+			m, err := p.Machine(fmt.Sprintf("rmwstyle/twoPhase=%v/%s", twoPhase, strat), machine.Config{
 				Protocol:         coherence.RB{},
 				CacheLines:       64,
 				TwoPhaseRMW:      twoPhase,
 				CheckConsistency: true,
 				WatchdogCycles:   1_000_000,
-			}, agents)
+			}, func() []workload.Agent {
+				locks = locks[:0]
+				agents := make([]workload.Agent, pes)
+				for i := range agents {
+					s, err := workload.NewSpinlock(workload.SpinlockConfig{
+						Lock: 100, Strategy: strat, Iterations: iters,
+						CriticalReads: 3, CriticalWrites: 3,
+						GuardedBase: 200, GuardedWords: 8,
+						Seed: p.Seed + uint64(i),
+					})
+					if err != nil {
+						buildErr = err
+						return nil
+					}
+					locks = append(locks, s)
+					agents[i] = s
+				}
+				return agents
+			})
+			if buildErr != nil {
+				return nil, buildErr
+			}
 			if err != nil {
 				return nil, err
 			}

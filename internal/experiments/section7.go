@@ -79,16 +79,18 @@ func Figure71Rows(p Params) ([]Figure71Row, error) {
 	refs := 4000 * p.Scale
 	var rows []Figure71Row
 	for _, buses := range []int{1, 2, 4} {
-		agents := make([]workload.Agent, pes)
-		for i := range agents {
-			agents[i] = workload.NewRandom(0, 512, refs, 0.3, 0.02, p.Seed+uint64(i))
-		}
-		m, err := machine.New(machine.Config{
+		m, err := p.Machine(fmt.Sprintf("fig7-1/buses=%d", buses), machine.Config{
 			Protocol:         coherence.RB{},
 			CacheLines:       64,
 			Buses:            buses,
 			CheckConsistency: true,
-		}, agents)
+		}, func() []workload.Agent {
+			agents := make([]workload.Agent, pes)
+			for i := range agents {
+				agents[i] = workload.NewRandom(0, 512, refs, 0.3, 0.02, p.Seed+uint64(i))
+			}
+			return agents
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -153,16 +155,18 @@ func SaturationRows(p Params) ([]SaturationRow, error) {
 	for _, proto := range []coherence.Protocol{coherence.RB{}, coherence.NoCache{}} {
 		for _, pes := range []int{2, 4, 8, 16, 32} {
 			layout := workload.DefaultLayout()
-			agents := make([]workload.Agent, pes)
-			for i := range agents {
-				app, err := workload.NewApp(workload.PDEProfile(), layout, i, p.Seed, refs)
-				if err != nil {
-					return nil, err
-				}
-				agents[i] = app
-			}
-			// Paper-scale caches (the largest Table 1-1 size).
-			m, err := machine.New(machine.Config{Protocol: proto, CacheLines: 2048}, agents)
+			// Paper-scale caches (the largest Table 1-1 size). The shape
+			// key carries everything but the seed, so a batched sweep
+			// recycles one machine per (protocol, pes) point.
+			m, err := p.Machine(fmt.Sprintf("section7/%s/pes=%d", proto.Name(), pes),
+				machine.Config{Protocol: proto, CacheLines: 2048},
+				func() []workload.Agent {
+					agents := make([]workload.Agent, pes)
+					for i := range agents {
+						agents[i] = workload.MustApp(workload.PDEProfile(), layout, i, p.Seed, refs)
+					}
+					return agents
+				})
 			if err != nil {
 				return nil, err
 			}

@@ -52,19 +52,18 @@ func Table11Rows(p Params) ([]Table11Row, error) {
 	var rows []Table11Row
 	for _, size := range Table11Sizes {
 		for _, prof := range profiles {
+			prof := prof
 			layout := workload.DefaultLayout()
-			agents := make([]workload.Agent, pes)
-			for i := range agents {
-				app, err := workload.NewApp(prof, layout, i, p.Seed, refsPerPE)
-				if err != nil {
-					return nil, err
-				}
-				agents[i] = app
-			}
-			m, err := machine.New(machine.Config{
+			m, err := p.Machine(fmt.Sprintf("table11/size=%d/%s", size, prof.Name), machine.Config{
 				Protocol:   coherence.CmStar{},
 				CacheLines: size,
-			}, agents)
+			}, func() []workload.Agent {
+				agents := make([]workload.Agent, pes)
+				for i := range agents {
+					agents[i] = workload.MustApp(prof, layout, i, p.Seed, refsPerPE)
+				}
+				return agents
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -118,49 +119,69 @@ func (c CampaignConfig) Specs() []sweep.Spec {
 // out of it by these names.
 var cellColumns = []string{"cell", "protocol", "class", "seed", "trials", "masked", "detected", "silent", "details"}
 
-// NewCellRunner returns the sweep.Runner that executes one campaign cell:
-// a fault-free reference run for the cell's seed, then Trials planned
-// faults of the cell's class, classified and tallied into a one-row table.
+// runCell executes one campaign cell: a fault-free reference run for the
+// cell's seed, then Trials planned faults of the cell's class, classified
+// and tallied into a one-row table. With a non-nil arena the reference
+// and every trial recycle one machine per trial shape (protocol-major,
+// since that is all that varies within a campaign); the tallies are
+// byte-identical either way.
+func runCell(cfg CampaignConfig, arena *batch.Arena, spec sweep.JobSpec) (*report.Table, error) {
+	protoName, class, err := ParseCellID(spec.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := coherence.ByName(protoName)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := cfg.Trial
+	tcfg.Protocol = proto
+	ref, err := tcfg.ReferenceIn(arena, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s seed %d: %w", spec.Experiment, spec.Seed, err)
+	}
+	var counts [3]int
+	var details []string
+	// Per-trial plan seeds come from one seeded stream, so trial t of
+	// cell (proto, class, seed) is the same fault everywhere, forever.
+	trialRNG := workload.NewRNG(spec.Seed ^ 0xfa17fa17fa17fa17)
+	for t := 0; t < cfg.Trials; t++ {
+		res, err := RunTrialIn(arena, tcfg, ref, class, spec.Seed, trialRNG.Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("%s seed %d trial %d: %w", spec.Experiment, spec.Seed, t, err)
+		}
+		counts[res.Outcome]++
+		details = append(details, fmt.Sprintf("t%d %v: %s", t, res.Outcome, res.Detail))
+	}
+	table := &report.Table{
+		ID:      spec.Experiment,
+		Title:   fmt.Sprintf("Fault cell %s vs %s", protoName, class),
+		Columns: cellColumns,
+	}
+	table.AddRow(spec.Experiment, protoName, class.String(),
+		strconv.FormatUint(spec.Seed, 10), strconv.Itoa(cfg.Trials),
+		strconv.Itoa(counts[Masked]), strconv.Itoa(counts[Detected]), strconv.Itoa(counts[Silent]),
+		strings.Join(details, " | "))
+	return table, nil
+}
+
+// NewCellRunner returns the sweep.Runner that executes one campaign cell
+// with a fresh machine per reference and trial.
 func NewCellRunner(c CampaignConfig) sweep.Runner {
 	cfg := c.withDefaults()
 	return func(spec sweep.JobSpec) (*report.Table, error) {
-		protoName, class, err := ParseCellID(spec.Experiment)
-		if err != nil {
-			return nil, err
-		}
-		proto, err := coherence.ByName(protoName)
-		if err != nil {
-			return nil, err
-		}
-		tcfg := cfg.Trial
-		tcfg.Protocol = proto
-		ref, err := tcfg.Reference(spec.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("%s seed %d: %w", spec.Experiment, spec.Seed, err)
-		}
-		var counts [3]int
-		var details []string
-		// Per-trial plan seeds come from one seeded stream, so trial t of
-		// cell (proto, class, seed) is the same fault everywhere, forever.
-		trialRNG := workload.NewRNG(spec.Seed ^ 0xfa17fa17fa17fa17)
-		for t := 0; t < cfg.Trials; t++ {
-			res, err := RunTrial(tcfg, ref, class, spec.Seed, trialRNG.Uint64())
-			if err != nil {
-				return nil, fmt.Errorf("%s seed %d trial %d: %w", spec.Experiment, spec.Seed, t, err)
-			}
-			counts[res.Outcome]++
-			details = append(details, fmt.Sprintf("t%d %v: %s", t, res.Outcome, res.Detail))
-		}
-		table := &report.Table{
-			ID:      spec.Experiment,
-			Title:   fmt.Sprintf("Fault cell %s vs %s", protoName, class),
-			Columns: cellColumns,
-		}
-		table.AddRow(spec.Experiment, protoName, class.String(),
-			strconv.FormatUint(spec.Seed, 10), strconv.Itoa(cfg.Trials),
-			strconv.Itoa(counts[Masked]), strconv.Itoa(counts[Detected]), strconv.Itoa(counts[Silent]),
-			strings.Join(details, " | "))
-		return table, nil
+		return runCell(cfg, nil, spec)
+	}
+}
+
+// NewBatchCellRunner is NewCellRunner vectorized through the sweep
+// engine's fused job groups: every cell in a group shares one batch
+// arena, so the (Trials+1) machines a cell used to construct collapse to
+// one generation-reset machine per protocol shape.
+func NewBatchCellRunner(c CampaignConfig) sweep.BatchRunner {
+	cfg := c.withDefaults()
+	return func(spec sweep.JobSpec, arena *batch.Arena) (*report.Table, error) {
+		return runCell(cfg, arena, spec)
 	}
 }
 

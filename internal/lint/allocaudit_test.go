@@ -3,12 +3,13 @@ package lint
 import "testing"
 
 func TestAllocFixture(t *testing.T) {
-	// The fixture seeds eight violations: a growing append, a fmt call,
+	// The fixture seeds nine violations: a growing append, a fmt call,
 	// a runtime string concatenation, interface boxing of an int, a map
-	// literal, a defer, a closure, and an unknown //hotpath: directive.
-	// The capped-local / self-append / reslice append forms, the
-	// panic-argument exemption, the scoped waiver and the unmarked
-	// function stay silent.
+	// literal, a defer, a closure, an arena page reallocated instead of
+	// revived in place, and an unknown //hotpath: directive. The
+	// capped-local / self-append / reslice append forms, the
+	// panic-argument exemption, the in-place generation revive, the
+	// scoped waiver and the unmarked function stay silent.
 	expectDiags(t, runOn(t, "testdata/allocfree"), [][2]string{
 		{"allocaudit", "append that may grow its backing array"},
 		{"allocaudit", "fmt.Sprintf call"},
@@ -17,6 +18,7 @@ func TestAllocFixture(t *testing.T) {
 		{"allocaudit", "map literal"},
 		{"allocaudit", "defer statement"},
 		{"allocaudit", "func literal"},
+		{"allocaudit", "&composite{} (escaping composite literal)"},
 		{"allocaudit", `unknown //hotpath: directive "nofree"`},
 	})
 }

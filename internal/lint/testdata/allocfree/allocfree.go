@@ -81,6 +81,39 @@ func (r *Ring) Waived() *Ring {
 	return &Ring{}
 }
 
+// Page is a generation-stamped arena page: stale pages are revived in
+// place on the hot path, never reallocated.
+type Page struct {
+	gen   uint64
+	words [4]int
+}
+
+// Arena recycles pages across generations by bumping gen.
+type Arena struct {
+	gen   uint64
+	pages []*Page
+}
+
+// Revive recycles a stale page by value assignment — a memclr plus a
+// generation stamp, no allocation.
+//
+//hotpath:allocfree
+func (a *Arena) Revive(p *Page) {
+	if p.gen != a.gen {
+		*p = Page{gen: a.gen} // clean: in-place value assignment
+	}
+}
+
+// Reallocate forgets the arena idiom and builds a fresh page per
+// generation — the regression generation reset exists to prevent.
+//
+//hotpath:allocfree
+func (a *Arena) Reallocate(i int) {
+	if a.pages[i].gen != a.gen {
+		a.pages[i] = &Page{gen: a.gen} // seeded violation: escaping composite
+	}
+}
+
 // Unmarked is not on the hot path: anything goes.
 func Unmarked() []int {
 	return append([]int{}, 1, 2, 3)

@@ -147,6 +147,7 @@ type Machine struct {
 	cfg    Config
 	mem    *pristineMem
 	buses  *bus.Set
+	pres   *bus.Presence // nil above MaxPresenceIDs (broadcast fallback)
 	caches []*cache.Cache
 	procs  []*processor.Processor
 	agents []workload.Agent
@@ -198,6 +199,7 @@ func New(cfg Config, agents []workload.Agent) (*Machine, error) {
 	if len(agents) <= bus.MaxPresenceIDs {
 		pres = bus.NewPresence()
 		m.buses.SetPresence(pres)
+		m.pres = pres
 	}
 	for i, agent := range agents {
 		c, err := cache.New(i, cfg.Protocol, cache.Config{Lines: cfg.CacheLines, Ways: cfg.CacheWays})
@@ -220,6 +222,68 @@ func New(cfg Config, agents []workload.Agent) (*Machine, error) {
 		m.lastGen = append(m.lastGen, ^uint64(0)) // force the first pass
 	}
 	return m, nil
+}
+
+// Reset returns the machine to the state New would have produced with the
+// same config and the agents re-seeded from seed, without reallocating
+// any arena: the dense page stores (shared memory, pristine record,
+// oracle) and the Presence table roll their generation counters, the
+// cache line arenas and bus registries clear in place, and every agent
+// re-derives its stream via workload.Reseeder. A reset machine's traces,
+// stats, and final images are byte-identical to a fresh one's — the
+// batch runner's correctness contract, pinned by TestResetEqualsFresh.
+//
+// Every agent must implement workload.Reseeder; agents that are cheaper
+// to rebuild than to reseed go through ResetWith instead.
+func (m *Machine) Reset(seed uint64) error {
+	for i, a := range m.agents {
+		if _, ok := a.(workload.Reseeder); !ok {
+			return fmt.Errorf("machine: agent %d (%T) does not implement workload.Reseeder; use ResetWith", i, a)
+		}
+	}
+	for _, a := range m.agents {
+		a.(workload.Reseeder).Reseed(seed)
+	}
+	m.resetCore()
+	return nil
+}
+
+// ResetWith is Reset for agents that are rebuilt rather than re-seeded:
+// the freshly constructed agents replace the old ones PE-for-PE (the
+// count must match the machine's shape) and all machine state resets as
+// in Reset.
+func (m *Machine) ResetWith(agents []workload.Agent) error {
+	if len(agents) != len(m.procs) {
+		return fmt.Errorf("machine: ResetWith got %d agents for a %d-PE machine", len(agents), len(m.procs))
+	}
+	m.agents = agents
+	m.resetCore()
+	return nil
+}
+
+// resetCore clears every piece of run state while keeping the machine's
+// shape: wiring, arenas, and config survive; traffic, counters, and
+// errors do not.
+func (m *Machine) resetCore() {
+	m.mem.Memory.Reset()
+	m.mem.init.Reset()
+	m.oracle.Reset()
+	m.buses.Reset()
+	m.buses.SetMemLatency(m.cfg.MemLatency)
+	if m.pres != nil {
+		m.pres.Reset()
+	}
+	for i, c := range m.caches {
+		c.Reset()
+		m.procs[i].Reset(m.agents[i])
+		m.procs[i].SetTwoPhaseRMW(m.cfg.TwoPhaseRMW)
+		m.slotBank[i] = -1
+		m.issueCycle[i] = 0
+		m.lastGen[i] = ^uint64(0)
+	}
+	m.cycle = 0
+	m.err = nil
+	m.missLat.Reset()
 }
 
 // MustNew is New panicking on error.

@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// runToDone drives the machine to completion and renders everything
+// observable about the run — the full bus trace of every bank, the
+// aggregate metrics, the final memory snapshot, and the drained final
+// image — as one deterministic string. Byte-identity of this capture is
+// the reset contract: a recycled machine must be indistinguishable from
+// a fresh one.
+func runToDone(t *testing.T, m *Machine) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < m.Buses().Len(); i++ {
+		bank := i
+		m.Buses().Bus(i).Trace = func(cycle uint64, r bus.Request, res bus.Result) {
+			fmt.Fprintf(&sb, "bank%d cycle%d req%+v res%+v\n", bank, cycle, r, res)
+		}
+	}
+	if _, err := m.Run(2_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Done() {
+		t.Fatalf("machine not done after cycle cap")
+	}
+	fmt.Fprintf(&sb, "metrics %+v\n", m.Metrics())
+	m.Memory().Range(func(a bus.Addr, w bus.Word) bool {
+		fmt.Fprintf(&sb, "mem %d=%d\n", a, w)
+		return true
+	})
+	final, err := m.FinalImage()
+	if err != nil {
+		t.Fatalf("final image: %v", err)
+	}
+	addrs := make([]bus.Addr, 0, len(final))
+	for a := range final {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fmt.Fprintf(&sb, "final %d=%d\n", a, final[a])
+	}
+	return sb.String()
+}
+
+// firstDiff returns a one-line description of where two captures diverge.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got  %q\n  want %q", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d", len(g), len(w))
+}
+
+// TestResetEqualsFresh is the byte-identity oracle for the generation
+// reset: for every protocol and several seeds, a machine recycled with
+// Reset(seed) — after having already executed an unrelated run whose
+// residue a buggy reset would leak — produces exactly the trace, stats,
+// memory image, and final image of a machine freshly constructed for
+// that seed.
+func TestResetEqualsFresh(t *testing.T) {
+	const (
+		pes  = 4
+		refs = 300
+	)
+	layout := workload.DefaultLayout()
+	profile := workload.QuicksortProfile()
+	mkAgents := func(seed uint64) []workload.Agent {
+		agents := make([]workload.Agent, pes)
+		for i := range agents {
+			agents[i] = workload.MustApp(profile, layout, i, seed, refs)
+		}
+		return agents
+	}
+	seeds := []uint64{1, 2, 3}
+	for _, k := range coherence.Kinds() {
+		proto := coherence.New(k)
+		t.Run(proto.Name(), func(t *testing.T) {
+			cfg := Config{Protocol: proto, CacheLines: 64, Buses: 2, CheckConsistency: true}
+			// Dirty the reused machine with a run no fresh machine sees:
+			// any state that survives Reset shows up as a capture diff.
+			reused := MustNew(cfg, mkAgents(99))
+			runToDone(t, reused)
+			for _, seed := range seeds {
+				want := runToDone(t, MustNew(cfg, mkAgents(seed)))
+				if err := reused.Reset(seed); err != nil {
+					t.Fatalf("Reset(%d): %v", seed, err)
+				}
+				if got := runToDone(t, reused); got != want {
+					t.Fatalf("seed %d: reset run differs from fresh run at %s", seed, firstDiff(got, want))
+				}
+			}
+		})
+	}
+}
+
+// TestResetWithEqualsFresh covers the rebuilt-agents path: Random does
+// not implement Reseeder, so the recycled machine takes fresh agents via
+// ResetWith and must still match a fresh construction byte-for-byte.
+func TestResetWithEqualsFresh(t *testing.T) {
+	mkAgents := func(seed uint64) []workload.Agent {
+		agents := make([]workload.Agent, 4)
+		for i := range agents {
+			agents[i] = workload.NewRandom(0, 256, 400, 0.3, 0.02, seed+uint64(i))
+		}
+		return agents
+	}
+	cfg := Config{Protocol: coherence.NewRWB(2), CacheLines: 128, CheckConsistency: true}
+	reused := MustNew(cfg, mkAgents(77))
+	runToDone(t, reused)
+	if err := reused.Reset(1); err == nil {
+		t.Fatalf("Reset accepted non-Reseeder agents; want an error directing callers to ResetWith")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		want := runToDone(t, MustNew(cfg, mkAgents(seed)))
+		if err := reused.ResetWith(mkAgents(seed)); err != nil {
+			t.Fatalf("ResetWith: %v", err)
+		}
+		if got := runToDone(t, reused); got != want {
+			t.Fatalf("seed %d: reset run differs from fresh run at %s", seed, firstDiff(got, want))
+		}
+	}
+	if err := reused.ResetWith(mkAgents(1)[:2]); err == nil {
+		t.Fatalf("ResetWith accepted a mismatched agent count")
+	}
+}

@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// realSpecs expands a couple of fast, seed-dependent experiments — two
+// distinct shapes, several seeds each, exactly the fusion scenario.
+func realSpecs(t *testing.T, seeds []uint64) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, id := range []string{"ablation-threshold", "ablation-private"} {
+		s, err := SpecFor(id, seeds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// TestBatchedMatchesUnbatched is the fusion identity contract: a batched
+// engine (fused same-shape groups, arena-recycled machines) must produce
+// byte-identical merged reports, journals, and store envelopes to the
+// unbatched per-job path.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	specs := realSpecs(t, []uint64{1, 2, 3})
+
+	unbatchedStore := NewMemStore()
+	unbatched, err := New(Options{Workers: 2, Store: unbatchedStore, Runner: ExperimentRunner}).
+		Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchedStore := NewMemStore()
+	batched, err := New(Options{Workers: 2, Store: batchedStore}). // nil runners = batched default
+									Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if batched.Executed != unbatched.Executed || batched.CacheHits != unbatched.CacheHits {
+		t.Errorf("batched executed/cached = %d/%d, unbatched %d/%d",
+			batched.Executed, batched.CacheHits, unbatched.Executed, unbatched.CacheHits)
+	}
+	if !bytes.Equal(renderAll(batched), renderAll(unbatched)) {
+		t.Errorf("batched merged report differs from unbatched:\nbatched:\n%s\nunbatched:\n%s",
+			renderAll(batched), renderAll(unbatched))
+	}
+	if !bytes.Equal(batchedStore.JournalBytes(), unbatchedStore.JournalBytes()) {
+		t.Errorf("batched journal differs from unbatched:\nbatched:\n%s\nunbatched:\n%s",
+			batchedStore.JournalBytes(), unbatchedStore.JournalBytes())
+	}
+	// The on-disk envelopes are content-addressed; compare them raw,
+	// byte for byte, per job key.
+	for _, j := range Expand(specs) {
+		want, ok, err := unbatchedStore.GetRaw(j.Key)
+		if err != nil || !ok {
+			t.Fatalf("unbatched store missing %s: %v", j.Key, err)
+		}
+		got, ok, err := batchedStore.GetRaw(j.Key)
+		if err != nil || !ok {
+			t.Fatalf("batched store missing %s: %v", j.Key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("envelope for %s (%s seed %d) differs between batched and unbatched",
+				j.Key, j.Spec.Experiment, j.Spec.Seed)
+		}
+	}
+}
+
+// TestFuseGroups pins the group-cutting rules: same-shape runs fuse,
+// shape changes cut, and fuse=false degenerates to one job per group.
+func TestFuseGroups(t *testing.T) {
+	mk := func(exp string, seed uint64) Job {
+		return Job{Spec: JobSpec{Experiment: exp, Version: 1, Seed: seed, Scale: 1}}
+	}
+	jobs := []Job{mk("a", 1), mk("a", 2), mk("a", 3), mk("b", 1), mk("b", 2)}
+	got := fuseGroups(jobs, true)
+	want := []jobGroup{{0, 3}, {3, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("group %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	unfused := fuseGroups(jobs, false)
+	if len(unfused) != len(jobs) {
+		t.Fatalf("unfused got %d groups, want %d", len(unfused), len(jobs))
+	}
+	for i, g := range unfused {
+		if g.start != i || g.end != i+1 {
+			t.Fatalf("unfused group %d = %v", i, g)
+		}
+	}
+	if got := fuseGroups(nil, true); len(got) != 0 {
+		t.Fatalf("empty jobs produced groups %v", got)
+	}
+}

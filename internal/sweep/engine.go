@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -17,18 +18,50 @@ import (
 // through the experiments registry; tests inject counters and fakes.
 type Runner func(spec JobSpec) (*report.Table, error)
 
+// BatchRunner executes one job with the batch arena its fused job group
+// shares: jobs differing only in seed recycle the group's machines by
+// generation reset instead of rebuilding them. The arena belongs to one
+// worker goroutine at a time (groups are dispatched whole), so runners
+// need no locking. Results must be byte-identical to the unbatched
+// path — Machine.Reset's contract, pinned by TestResetEqualsFresh and
+// the engine's fused-vs-unfused identity test.
+type BatchRunner func(spec JobSpec, arena *batch.Arena) (*report.Table, error)
+
+// resolveExperiment is the registry + version-epoch lookup shared by both
+// production runners.
+func resolveExperiment(spec JobSpec) (experiments.Experiment, error) {
+	e, err := experiments.ByID(spec.Experiment)
+	if err != nil {
+		return experiments.Experiment{}, err
+	}
+	if e.Version != spec.Version {
+		return experiments.Experiment{}, fmt.Errorf("sweep: %s is at version %d but the job was expanded at version %d; rebuild the specs",
+			e.ID, e.Version, spec.Version)
+	}
+	return e, nil
+}
+
 // ExperimentRunner is the production Runner: it resolves the job's
 // experiment in the registry and executes it with the job's parameters.
 func ExperimentRunner(spec JobSpec) (*report.Table, error) {
-	e, err := experiments.ByID(spec.Experiment)
+	e, err := resolveExperiment(spec)
 	if err != nil {
 		return nil, err
 	}
-	if e.Version != spec.Version {
-		return nil, fmt.Errorf("sweep: %s is at version %d but the job was expanded at version %d; rebuild the specs",
-			e.ID, e.Version, spec.Version)
-	}
 	return e.Run(spec.Params())
+}
+
+// ExperimentBatchRunner is ExperimentRunner with the fused group's arena
+// attached to the run's Params, so the experiment's machines are
+// recycled across the group's seeds.
+func ExperimentBatchRunner(spec JobSpec, arena *batch.Arena) (*report.Table, error) {
+	e, err := resolveExperiment(spec)
+	if err != nil {
+		return nil, err
+	}
+	p := spec.Params()
+	p.Arena = arena
+	return e.Run(p)
 }
 
 // Options configures an Engine.
@@ -50,6 +83,17 @@ type Options struct {
 	Sink EventSink
 	// Runner executes jobs; nil means ExperimentRunner.
 	Runner Runner
+	// BatchRunner, when non-nil, turns on same-shape job fusion: Expand's
+	// canonical job order is cut into maximal runs of jobs equal in
+	// everything but seed (experiment, version, scale), each run is
+	// dispatched to one worker as a unit, and its jobs execute through
+	// BatchRunner with a shared batch.Arena. Journal order, events, cache
+	// keys, and store envelopes are unchanged — fusion only changes which
+	// worker runs which job and how machines are allocated. When both
+	// Runner and BatchRunner are nil, the engine defaults to the batched
+	// experiment path (ExperimentRunner + ExperimentBatchRunner); set
+	// Runner alone to opt out of fusion.
+	BatchRunner BatchRunner
 	// JobTimeout, when positive, bounds each job's wall-clock time. A job
 	// that exceeds it is marked failed with a TimeoutError (its goroutine
 	// is abandoned, not killed) and the sweep continues.
@@ -71,6 +115,11 @@ func New(opts Options) *Engine {
 		opts.Store = NewMemStore()
 	}
 	if opts.Runner == nil {
+		// Batched by default: the service layers construct engines with
+		// both runners nil and inherit fusion transparently.
+		if opts.BatchRunner == nil {
+			opts.BatchRunner = ExperimentBatchRunner
+		}
 		opts.Runner = ExperimentRunner
 	}
 	e := &Engine{opts: opts}
@@ -182,12 +231,68 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// finish records one job's outcome and advances the journal frontier:
+	// lines land in canonical order no matter which worker finished when.
+	finish := func(i int, res JobResult, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && !recoverable(err) {
+			// Infrastructure errors (store I/O, bad spec, runner errors)
+			// fail the whole sweep fast.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sweep: job %d (%s seed=%d scale=%d): %w",
+					i, jobs[i].Spec.Experiment, jobs[i].Spec.Seed, jobs[i].Spec.Scale, err)
+			}
+			cancel()
+			return
+		}
+		if err != nil {
+			// A panic or timeout poisons only its own job: record the
+			// failure, keep draining the queue, and surface everything in
+			// the FailureSummary at the end.
+			failed[i] = &JobFailure{Job: jobs[i], Err: err}
+			results[i] = JobResult{Job: jobs[i]}
+			e.emit(Event{Event: "failed", Job: i, Key: jobs[i].Key,
+				Experiment: jobs[i].Spec.Experiment, Seed: jobs[i].Spec.Seed,
+				Scale: jobs[i].Spec.Scale, Error: err.Error()})
+		} else {
+			results[i] = res
+		}
+		done[i] = true
+		// Failed jobs advance the frontier but write no line — they are
+		// not done and must re-run on resume.
+		for frontier < len(jobs) && done[frontier] {
+			j := jobs[frontier]
+			if failed[frontier] == nil && !journaled[j.Key] {
+				line := JournalLine{
+					Key:        j.Key,
+					Experiment: j.Spec.Experiment,
+					Seed:       j.Spec.Seed,
+					Scale:      j.Spec.Scale,
+					Cached:     results[frontier].Cached,
+				}
+				if jerr := e.opts.Store.AppendJournal(line); jerr != nil && firstErr == nil {
+					firstErr = jerr
+					cancel()
+				}
+				journaled[j.Key] = true
+			}
+			frontier++
+		}
+	}
+
+	// The dispatch unit is a fused group: a maximal run of canonical-order
+	// jobs equal in everything but seed. Without a BatchRunner every group
+	// is a single job and dispatch degenerates to the historical per-job
+	// scheduling; with one, a group shares one arena on one worker.
+	groups := fuseGroups(jobs, e.opts.BatchRunner != nil)
+
 	idxCh := make(chan int)
 	go func() {
 		defer close(idxCh)
-		for i := range jobs {
+		for gi := range groups {
 			select {
-			case idxCh <- i:
+			case idxCh <- gi:
 			case <-ctx.Done():
 				return
 			}
@@ -199,61 +304,30 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idxCh {
-				// The producer's select can hand out one more index after
-				// cancellation; re-check here so no job starts post-cancel.
-				if ctx.Err() != nil {
-					continue
+			for gi := range idxCh {
+				g := groups[gi]
+				var arena *batch.Arena
+				if e.opts.BatchRunner != nil {
+					arena = batch.New()
 				}
-				res, err := e.runJob(jobs[i])
-				mu.Lock()
-				if err != nil && !recoverable(err) {
-					// Infrastructure errors (store I/O, bad spec, runner
-					// errors) fail the whole sweep fast.
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sweep: job %d (%s seed=%d scale=%d): %w",
-							i, jobs[i].Spec.Experiment, jobs[i].Spec.Seed, jobs[i].Spec.Scale, err)
+				for i := g.start; i < g.end; i++ {
+					// The producer's select can hand out one more group
+					// after cancellation; re-check here so no job starts
+					// post-cancel.
+					if ctx.Err() != nil {
+						continue
 					}
-					mu.Unlock()
-					cancel()
-					continue
-				}
-				if err != nil {
-					// A panic or timeout poisons only its own job: record
-					// the failure, keep draining the queue, and surface
-					// everything in the FailureSummary at the end.
-					failed[i] = &JobFailure{Job: jobs[i], Err: err}
-					results[i] = JobResult{Job: jobs[i]}
-					e.emit(Event{Event: "failed", Job: i, Key: jobs[i].Key,
-						Experiment: jobs[i].Spec.Experiment, Seed: jobs[i].Spec.Seed,
-						Scale: jobs[i].Spec.Scale, Error: err.Error()})
-				} else {
-					results[i] = res
-				}
-				done[i] = true
-				// Advance the journal frontier: lines land in canonical
-				// order no matter which worker finished when. Failed jobs
-				// advance the frontier but write no line — they are not
-				// done and must re-run on resume.
-				for frontier < len(jobs) && done[frontier] {
-					j := jobs[frontier]
-					if failed[frontier] == nil && !journaled[j.Key] {
-						line := JournalLine{
-							Key:        j.Key,
-							Experiment: j.Spec.Experiment,
-							Seed:       j.Spec.Seed,
-							Scale:      j.Spec.Scale,
-							Cached:     results[frontier].Cached,
-						}
-						if jerr := e.opts.Store.AppendJournal(line); jerr != nil && firstErr == nil {
-							firstErr = jerr
-							cancel()
-						}
-						journaled[j.Key] = true
+					res, err := e.runJob(jobs[i], arena)
+					if err != nil && arena != nil {
+						// A panicked runner may have left the arena's
+						// machines mid-run, and a timed-out runner's
+						// abandoned goroutine may still be touching them:
+						// quarantine the arena, give the rest of the group
+						// a fresh one.
+						arena = batch.New()
 					}
-					frontier++
+					finish(i, res, err)
 				}
-				mu.Unlock()
 			}
 		}()
 	}
@@ -289,9 +363,35 @@ func (e *Engine) Run(ctx context.Context, specs []Spec) (*Outcome, error) {
 	return out, nil
 }
 
+// jobGroup is one fused dispatch unit: jobs[start:end] in canonical
+// order, all sharing a machine shape (equal experiment, version, scale).
+type jobGroup struct{ start, end int }
+
+// fuseGroups cuts the canonical job order into dispatch units. Expand is
+// spec-major with seeds innermost, so a spec's seed replicas are always
+// contiguous and fusion never reorders anything.
+func fuseGroups(jobs []Job, fuse bool) []jobGroup {
+	var groups []jobGroup
+	for i := 0; i < len(jobs); {
+		j := i + 1
+		for fuse && j < len(jobs) && sameJobShape(jobs[i].Spec, jobs[j].Spec) {
+			j++
+		}
+		groups = append(groups, jobGroup{i, j})
+		i = j
+	}
+	return groups
+}
+
+// sameShape reports whether two jobs differ only in seed — the fusion
+// criterion and exactly the deltas Machine.Reset can absorb.
+func sameJobShape(a, b JobSpec) bool {
+	return a.Experiment == b.Experiment && a.Version == b.Version && a.Scale == b.Scale
+}
+
 // runJob serves one job from the store or executes it and memoizes the
-// result.
-func (e *Engine) runJob(j Job) (JobResult, error) {
+// result. arena, when non-nil, is the fused group's machine arena.
+func (e *Engine) runJob(j Job, arena *batch.Arena) (JobResult, error) {
 	e.emit(Event{Event: "start", Job: j.Index, Key: j.Key,
 		Experiment: j.Spec.Experiment, Seed: j.Spec.Seed, Scale: j.Spec.Scale})
 	start := wallNow()
@@ -305,7 +405,7 @@ func (e *Engine) runJob(j Job) (JobResult, error) {
 		table = res.Table
 		cached = true
 	} else {
-		table, err = e.callRunner(j.Spec)
+		table, err = e.callRunner(j.Spec, arena)
 		if err != nil {
 			return JobResult{}, err
 		}
@@ -328,13 +428,16 @@ func (e *Engine) runJob(j Job) (JobResult, error) {
 // comes back as a *PanicError carrying the stack; a budget overrun comes
 // back as a *TimeoutError (the runner goroutine is abandoned — Go cannot
 // kill it — and its eventual result is discarded).
-func (e *Engine) callRunner(spec JobSpec) (*report.Table, error) {
+func (e *Engine) callRunner(spec JobSpec, arena *batch.Arena) (*report.Table, error) {
 	run := func() (t *report.Table, err error) {
 		defer func() {
 			if v := recover(); v != nil {
 				err = &PanicError{Value: v, Stack: debug.Stack()}
 			}
 		}()
+		if arena != nil && e.opts.BatchRunner != nil {
+			return e.opts.BatchRunner(spec, arena)
+		}
 		return e.opts.Runner(spec)
 	}
 	if e.opts.JobTimeout <= 0 {

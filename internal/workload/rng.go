@@ -12,6 +12,11 @@ type RNG struct {
 // streams; generators derive per-PE seeds as seed + PE index.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed restores the generator to the state NewRNG(seed) would produce,
+// so a shared RNG can be recycled across batch trials without
+// reallocating it.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

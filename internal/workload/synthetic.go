@@ -162,6 +162,15 @@ func newStackModel(rng *RNG, base bus.Addr, size int, p AppProfile) *stackModel 
 	return m
 }
 
+// reset empties the LRU history and rewinds the allocation cursor,
+// reusing the preallocated stack backing — this is the batch runner's
+// whole win: the MaxDepth-sized backing array is the workload layer's
+// dominant allocation, and reset never touches it.
+func (m *stackModel) reset() {
+	m.stack = m.stack[:0]
+	m.nextNew = 0
+}
+
 // next returns the next address of the stream.
 func (m *stackModel) next() bus.Addr {
 	var depth int
@@ -242,6 +251,18 @@ func NewApp(profile AppProfile, layout Layout, pe int, seed uint64, maxRefs int)
 		local:   newStackModel(rng, layout.LocalBase(pe), layout.LocalWords, profile),
 		maxRefs: maxRefs,
 	}, nil
+}
+
+// Reseed implements Reseeder: the agent re-derives its per-PE RNG stream
+// from the base seed exactly as NewApp does and rewinds both locality
+// models onto their existing backing, so a recycled App emits the same
+// reference stream a freshly constructed one would.
+func (a *App) Reseed(seed uint64) {
+	a.rng.Reseed(seed*1e9 + uint64(a.pe)*7919)
+	a.code.reset()
+	a.local.reset()
+	a.refs = 0
+	a.seq = 0
 }
 
 // MustApp is NewApp panicking on error.

@@ -103,6 +103,19 @@ type Agent interface {
 	Next(prev Result) Op
 }
 
+// Reseeder is an Agent that can return to its freshly constructed state
+// for a new base seed, deriving any per-PE stream from it internally
+// exactly as its constructor would. Machine.Reset requires every agent
+// to implement it; agents that are cheap to rebuild (e.g. Random, whose
+// callers pre-derive the final seed) skip the interface and go through
+// Machine.ResetWith instead.
+type Reseeder interface {
+	Agent
+	// Reseed discards all run state and re-derives the stream from the
+	// base seed, so the agent behaves as if just constructed with it.
+	Reseed(seed uint64)
+}
+
 // Trace is an Agent replaying a fixed operation sequence, then halting.
 type Trace struct {
 	Ops []Op

@@ -7,11 +7,13 @@
 #   bench.sh cluster [out]       cluster scaling curve -> BENCH_cluster.json
 #   bench.sh all                 all of the above, default outputs
 #
-# sweep: runs each benchmark experiment three ways — cold serial
-# (workers=1), cold parallel (workers=GOMAXPROCS), warm (parallel again
-# on the same store) — and records per-experiment wall time, jobs/sec,
-# parallel speedup and warm-cache hit rate (schema sweep-bench-v1; see
-# cmd/sweep/main.go runBench).
+# sweep: runs each benchmark experiment four ways — cold serial
+# (workers=1, fresh machine per job), cold parallel (workers=GOMAXPROCS,
+# fresh machine per job), cold batched (same-shape jobs fused onto
+# generation-reset machines), warm (parallel again on the same store) —
+# and records per-experiment wall time, jobs/sec, batched jobs/sec, the
+# batch and parallel speedups, and warm-cache hit rate (schema
+# sweep-bench-v2; see cmd/sweep/main.go runBench).
 #
 # core: runs the internal/perf scenario suite — simulated cycles/sec and
 # allocs/cycle for 1/8/64-PE machines under RB and RWB, oracle on and

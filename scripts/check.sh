@@ -23,13 +23,19 @@
 #   8. sweep       a bounded smoke of the orchestration engine: parallel
 #                  output must be byte-identical to serial and a warm
 #                  cache must execute zero jobs
-#   9. faults      a bounded smoke of the S23 fault campaign: the report
-#                  must be byte-identical between -j1 and -j4 and no
-#                  detectable fault class may produce a silent divergence
-#  10. serve       a bounded smoke of the S24 service daemon: boot on a
+#   9. batch       a bounded smoke of the S26 batched execution path: a
+#                  2-shape x 3-seed sweep run fused (same-shape jobs on
+#                  generation-reset machines) must produce reports, a
+#                  journal, and store envelopes byte-identical to the
+#                  unbatched fresh-machine-per-job run
+#  10. faults      a bounded smoke of the S23 fault campaign: the report
+#                  must be byte-identical between -j1, -j4, and the
+#                  batched (arena-recycled) runner, and no detectable
+#                  fault class may produce a silent divergence
+#  11. serve       a bounded smoke of the S24 service daemon: boot on a
 #                  loopback port, run an experiment over HTTP, verify the
 #                  identical resubmission is a pure cache hit, and drain
-#  11. router      a bounded smoke of the S25 cluster tier: in-process
+#  12. router      a bounded smoke of the S25 cluster tier: in-process
 #                  router + 2 workers; verifies sharded routing,
 #                  cross-worker coalescing, a rebalancer-triggered
 #                  replica read, and 503 + Retry-After with the fleet
@@ -65,6 +71,9 @@ go run ./cmd/modelcheck -all -n 3
 
 echo "==> sweep -smoke"
 go run ./cmd/sweep -smoke
+
+echo "==> sweep -batch-smoke"
+go run ./cmd/sweep -batch-smoke
 
 echo "==> faultcampaign -smoke"
 go run ./cmd/faultcampaign -smoke
