@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race lint fuzz modelcheck fault bench bench-core serve loadgen bench-serve cluster bench-cluster fmt
+.PHONY: check build test race lint fuzz modelcheck fault bench bench-core serve loadgen bench-serve cluster bench-cluster chaos fmt
 
 check:
 	sh scripts/check.sh
@@ -70,6 +70,12 @@ cluster:
 # traffic and writes BENCH_cluster.json (schema cluster-bench-v1).
 bench-cluster:
 	sh scripts/bench.sh cluster
+
+# chaos runs the S27 chaos campaign over every fault class at every
+# intensity and prints the masked/degraded/failed matrix;
+# `chaoscampaign -smoke` is the CI gate.
+chaos:
+	$(GO) run ./cmd/chaoscampaign -intensities low,default,high
 
 fmt:
 	gofmt -w .

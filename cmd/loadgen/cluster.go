@@ -184,12 +184,13 @@ func (c *embeddedCluster) shutdownPartial() { c.shutdown() }
 // routerCounters is the subset of the router's /metrics the artifact
 // records per curve point.
 type routerCounters struct {
-	ReplicaReads   int64 `json:"replica_reads"`
-	Failovers      int64 `json:"failovers"`
-	ReplicasAdded  int64 `json:"replicas_added"`
-	ReplicasActive int   `json:"replicas_active"`
-	FillObjects    int64 `json:"fill_objects"`
-	RebalancePolls int64 `json:"rebalance_polls"`
+	ReplicaReads     int64 `json:"replica_reads"`
+	Failovers        int64 `json:"failovers"`
+	ReplicasAdded    int64 `json:"replicas_added"`
+	ReplicasActive   int   `json:"replicas_active"`
+	FillObjects      int64 `json:"fill_objects"`
+	RebalancePolls   int64 `json:"rebalance_polls"`
+	TruncatedStreams int64 `json:"truncated_streams"`
 }
 
 // clusterPoint is one worker-count measurement on the scaling curve.
@@ -246,10 +247,21 @@ func runClusterCurve(counts []int, conc, total, rps int, skew float64, seed uint
 			ec.shutdown()
 			return err
 		}
+		// Event streams through the router must close with a terminal
+		// frame, and a fault-free run must never trip the truncation
+		// detector.
+		if _, err := verifyStreams(client, ec.base, mix, len(mix)); err != nil {
+			ec.shutdown()
+			return fmt.Errorf("%d worker(s): stream verification: %v", n, err)
+		}
 		rc, err := scrapeRouter(client, ec.base)
 		if err != nil {
 			ec.shutdown()
 			return err
+		}
+		if rc.TruncatedStreams > 0 {
+			ec.shutdown()
+			return fmt.Errorf("%d worker(s): %d truncated stream(s) in a fault-free run", n, rc.TruncatedStreams)
 		}
 		rc.ReplicasActive = ec.router.ActiveReplicas()
 		rep.Points = append(rep.Points, clusterPoint{Workers: n, Cold: cold, Warm: warm, Router: rc})
@@ -299,6 +311,8 @@ func scrapeRouter(client *http.Client, base string) (routerCounters, error) {
 			c.FillObjects, _ = strconv.ParseInt(fields[1], 10, 64)
 		case "mimdrouter_rebalance_polls_total":
 			c.RebalancePolls, _ = strconv.ParseInt(fields[1], 10, 64)
+		case "mimdrouter_truncated_streams_total":
+			c.TruncatedStreams, _ = strconv.ParseInt(fields[1], 10, 64)
 		}
 	}
 	return c, nil

@@ -13,15 +13,20 @@
 //
 // The generator is deterministic: the spec mix cycles by request index
 // (no randomness), so two runs against the same store issue the same
-// byte-identical request sequence. Only 200 and 429 responses are
-// acceptable; a 429 is retried honoring Retry-After, and anything else
-// fails the run.
+// byte-identical request sequence. Only 200, 429, and 503-with-
+// Retry-After responses are acceptable; sheds are retried under the
+// shared retry policy honoring their Retry-After hint, and anything
+// else fails the run. After the phases, a handful of async jobs are
+// streamed and every event stream must close with a terminal frame —
+// a clean EOF without one is a transport truncation, not a result.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -34,6 +39,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/retry"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -122,15 +129,16 @@ type serverCounters struct {
 
 // benchReport is the BENCH_serve.json schema.
 type benchReport struct {
-	Schema        string         `json:"schema"`
-	GoMaxProcs    int            `json:"gomaxprocs"`
-	Concurrency   int            `json:"concurrency"`
-	RequestsPhase int            `json:"requests_per_phase"`
-	DistinctSpecs int            `json:"distinct_specs"`
-	Cold          phaseStats     `json:"cold"`
-	Warm          phaseStats     `json:"warm"`
-	Speedup       float64        `json:"warm_speedup"`
-	Server        serverCounters `json:"server"`
+	Schema         string         `json:"schema"`
+	GoMaxProcs     int            `json:"gomaxprocs"`
+	Concurrency    int            `json:"concurrency"`
+	RequestsPhase  int            `json:"requests_per_phase"`
+	DistinctSpecs  int            `json:"distinct_specs"`
+	Cold           phaseStats     `json:"cold"`
+	Warm           phaseStats     `json:"warm"`
+	Speedup        float64        `json:"warm_speedup"`
+	StreamsChecked int            `json:"streams_checked"`
+	Server         serverCounters `json:"server"`
 }
 
 func run(url string, conc, total, rps int, outPath string, minSpeedup float64, cacheDir string, skew float64, seed uint64, shiftAt float64) error {
@@ -182,6 +190,13 @@ func run(url string, conc, total, rps int, outPath string, minSpeedup float64, c
 		return err
 	}
 
+	// Streamed results get the same scrutiny as synchronous ones: every
+	// event stream must close with a terminal frame.
+	streams, err := verifyStreams(client, base, mix, len(mix))
+	if err != nil {
+		return fmt.Errorf("stream verification: %v", err)
+	}
+
 	counters, err := scrapeMetrics(client, base)
 	if err != nil {
 		return err
@@ -193,14 +208,15 @@ func run(url string, conc, total, rps int, outPath string, minSpeedup float64, c
 	}
 
 	rep := benchReport{
-		Schema:        "serve-bench-v1",
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		Concurrency:   conc,
-		RequestsPhase: total,
-		DistinctSpecs: len(mix),
-		Cold:          cold,
-		Warm:          warm,
-		Server:        counters,
+		Schema:         "serve-bench-v1",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Concurrency:    conc,
+		RequestsPhase:  total,
+		DistinctSpecs:  len(mix),
+		Cold:           cold,
+		Warm:           warm,
+		StreamsChecked: streams,
+		Server:         counters,
 	}
 	if warm.WallMS > 0 {
 		rep.Speedup = cold.WallMS / warm.WallMS
@@ -315,34 +331,111 @@ func runPhase(name string, client *http.Client, base string, mix []string, plan 
 	return stats, nil
 }
 
-// issue sends one request, retrying 429s per their Retry-After hint.
-// Any status other than 200 or 429 is a hard failure: the server's
-// contract is "answer or shed", never drop.
+// issue sends one request under the shared retry policy. A 429 — or a
+// router's transient 503 shed — is retried honoring its Retry-After
+// hint (retry.AfterError); any other non-200 fails permanently: the
+// contract is "answer or shed", never drop. The jitter stream is keyed
+// by the spec bytes, so the schedule is reproducible per spec.
 func issue(client *http.Client, base, spec string) (lat time.Duration, retries429 int64, err error) {
-	const maxAttempts = 50
 	start := wallNow()
-	for attempt := 0; attempt < maxAttempts; attempt++ {
+	h := fnv.New64a()
+	h.Write([]byte(spec))
+	pol := retry.Policy{
+		Base:        250 * time.Millisecond,
+		Cap:         5 * time.Second,
+		MaxAttempts: 50,
+		Seed:        h.Sum64(),
+	}
+	err = retry.Do(context.Background(), pol, func(context.Context) error {
 		resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
 		if err != nil {
-			return 0, retries429, err
+			return retry.Permanent(err)
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusOK:
-			return wallNow().Sub(start), retries429, nil
-		case http.StatusTooManyRequests:
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			retries429++
 			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 			if secs < 1 {
 				secs = 1
 			}
-			time.Sleep(time.Duration(secs) * time.Second)
+			return &retry.AfterError{
+				After: time.Duration(secs) * time.Second,
+				Err:   fmt.Errorf("still shed (%d) after retries: %s", resp.StatusCode, spec),
+			}
 		default:
-			return 0, retries429, fmt.Errorf("status %d for %s: %s", resp.StatusCode, spec, strings.TrimSpace(string(body)))
+			return retry.Permanent(fmt.Errorf("status %d for %s: %s",
+				resp.StatusCode, spec, strings.TrimSpace(string(body))))
+		}
+	})
+	if err != nil {
+		return 0, retries429, err
+	}
+	return wallNow().Sub(start), retries429, nil
+}
+
+// verifyStreams submits n async jobs and consumes their event streams,
+// requiring a terminal frame on every one. A stream that ends with a
+// clean EOF and no terminal frame used to parse as "short but clean" —
+// it is a transport truncation, and counting it as success is exactly
+// the silent failure the terminal-frame check exists to catch.
+func verifyStreams(client *http.Client, base string, mix []string, n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if err := verifyOneStream(client, base, mix[i%len(mix)]); err != nil {
+			return i, err
 		}
 	}
-	return 0, retries429, fmt.Errorf("still shed after %d attempts: %s", maxAttempts, spec)
+	return n, nil
+}
+
+func verifyOneStream(client *http.Client, base, spec string) error {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	var status serve.JobStatus
+	derr := json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submitting stream job: status %d", resp.StatusCode)
+	}
+	if derr != nil {
+		return fmt.Errorf("decoding job status: %v", derr)
+	}
+	req, err := http.NewRequest(http.MethodGet, base+status.EventsURL, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	es, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer es.Body.Close()
+	if es.StatusCode != http.StatusOK {
+		return fmt.Errorf("event stream for %s: status %d", spec, es.StatusCode)
+	}
+	scan := cluster.NewTerminalScanner(es.Header.Get("Content-Type"))
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := es.Body.Read(buf)
+		if n > 0 {
+			scan.Observe(buf[:n])
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fmt.Errorf("event stream for %s: %v", spec, rerr)
+		}
+	}
+	if !scan.Terminated() {
+		return fmt.Errorf("event stream for %s truncated: clean EOF with no terminal frame", spec)
+	}
+	return nil
 }
 
 // scrapeMetrics pulls the coalescing and cache counters out of the

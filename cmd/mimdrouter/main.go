@@ -9,6 +9,15 @@
 // run: request ids are pure content hashes and replicas are filled with
 // raw store bytes.
 //
+// Self-healing controls: per-worker circuit breakers open after
+// consecutive proxy failures and re-admit traffic through a half-open
+// trial; -attempt-timeout bounds the wait for a worker's response
+// headers before failing over; -hedge races idempotent status reads
+// against the successor worker once the primary exceeds its windowed
+// p99; -journal makes submissions durable — a restarted router replays
+// unfinished flights before taking traffic, and SIGINT drains in-flight
+// streams to their terminal frame before exiting.
+//
 // Usage:
 //
 //	mimdrouter -workers w1=http://10.0.0.1:8471,w2=http://10.0.0.2:8471
@@ -50,6 +59,10 @@ func main() {
 		coolPolls = flag.Int("cool-polls", 3, "consecutive cool polls before a replica retires")
 		pollIvl   = flag.Duration("poll-interval", 2*time.Second, "rebalancer poll cadence")
 		probeIvl  = flag.Duration("probe-interval", time.Second, "health probe cadence")
+		journalP  = flag.String("journal", "", "flight journal path; submissions are journaled and resumed after a restart")
+		attemptTO = flag.Duration("attempt-timeout", 2*time.Second, "max wait for a worker's response headers before failing over; 0 disables")
+		hedge     = flag.Bool("hedge", false, "hedge idempotent status reads to the successor worker past the primary's windowed p99")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight streams on SIGINT before exiting anyway")
 		smoke     = flag.Bool("smoke", false, "bounded self-check: in-process router + 2 workers; verifies routing, coalescing, failover, and a replica read")
 	)
 	flag.Parse()
@@ -84,22 +97,46 @@ func main() {
 		}
 	}
 
+	var journal *cluster.Journal
+	if *journalP != "" {
+		var err error
+		journal, err = cluster.OpenJournal(*journalP)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+	}
+
 	idOpts := serve.Options{JobTimeout: *jobTO, MaxJobs: *maxJobs}
 	router, err := cluster.New(cluster.Options{
-		Workers:       fleet,
-		NumShards:     *shards,
-		RequestID:     func(body []byte) (string, error) { return serve.ComputeRequestID(body, idOpts) },
-		HotP99MS:      *hotP99,
-		RecoverP99MS:  *recover99,
-		MinSamples:    *minSamp,
-		CoolPolls:     *coolPolls,
-		PollInterval:  *pollIvl,
-		ProbeInterval: *probeIvl,
+		Workers:        fleet,
+		NumShards:      *shards,
+		RequestID:      func(body []byte) (string, error) { return serve.ComputeRequestID(body, idOpts) },
+		HotP99MS:       *hotP99,
+		RecoverP99MS:   *recover99,
+		MinSamples:     *minSamp,
+		CoolPolls:      *coolPolls,
+		PollInterval:   *pollIvl,
+		ProbeInterval:  *probeIvl,
+		AttemptTimeout: *attemptTO,
+		Hedge:          *hedge,
+		Journal:        journal,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	router.Start(ctx)
+
+	if journal != nil {
+		// Replay flights left pending by a previous run before taking new
+		// traffic: content-hash ids make the replay idempotent.
+		n, err := router.ResumePending(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mimdrouter: journal resume:", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "mimdrouter: resumed %d pending flight(s) from %s\n", n, *journalP)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -117,6 +154,15 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Graceful drain: new submissions shed with 503 + Retry-After while
+	// in-flight proxied requests — including live event streams — run to
+	// their terminal frame, bounded by -drain-timeout.
+	fmt.Fprintln(os.Stderr, "mimdrouter: draining")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTO)
+	if err := router.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mimdrouter: drain timed out; exiting with flights in the journal")
+	}
+	dcancel()
 	fmt.Fprintln(os.Stderr, "mimdrouter: stopping")
 	hs.Shutdown(context.Background())
 }

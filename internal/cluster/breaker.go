@@ -1,0 +1,146 @@
+package cluster
+
+import "sync"
+
+// breakerState is one worker's circuit position.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerSet holds a per-worker circuit breaker: closed (traffic flows,
+// consecutive failures counted) → open (candidate skipped for Cooldown
+// prober rounds) → half-open (exactly one trial request allowed; its
+// outcome snaps the circuit closed or back open). Time is counted in
+// prober rounds, not wall clock — Tick() advances on every ProbeOnce —
+// so tests and the chaos campaign drive the cooldown deterministically.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int // consecutive failures that open the circuit
+	cooldown  int // prober rounds an open circuit waits before half-open
+	workers   map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	state breakerState
+	fails int  // consecutive failures while closed
+	wait  int  // rounds remaining while open
+	trial bool // half-open: trial request currently outstanding
+}
+
+func newBreakerSet(threshold, cooldown int) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		workers:   map[string]*breakerEntry{},
+	}
+}
+
+func (b *breakerSet) entry(id string) *breakerEntry {
+	e := b.workers[id]
+	if e == nil {
+		e = &breakerEntry{}
+		b.workers[id] = e
+	}
+	return e
+}
+
+// Allow reports whether a request may be sent to the worker. An open
+// circuit refuses; a half-open circuit admits exactly one trial at a
+// time (a concurrent second request is refused until the trial lands).
+func (b *breakerSet) Allow(id string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(id)
+	switch e.state {
+	case breakerOpen:
+		return false
+	case breakerHalfOpen:
+		if e.trial {
+			return false
+		}
+		e.trial = true
+		return true
+	default:
+		return true
+	}
+}
+
+// OnSuccess records a completed request: any state snaps closed.
+func (b *breakerSet) OnSuccess(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(id)
+	e.state = breakerClosed
+	e.fails, e.wait = 0, 0
+	e.trial = false
+}
+
+// OnFailure records a failed request. Closed circuits open after
+// threshold consecutive failures; a failed half-open trial re-opens
+// immediately. It reports whether this failure opened the circuit.
+func (b *breakerSet) OnFailure(id string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(id)
+	switch e.state {
+	case breakerHalfOpen:
+		e.state = breakerOpen
+		e.wait = b.cooldown
+		e.trial = false
+		return true
+	case breakerClosed:
+		e.fails++
+		if e.fails >= b.threshold {
+			e.state = breakerOpen
+			e.wait = b.cooldown
+			e.fails = 0
+			return true
+		}
+		return false
+	default:
+		// Already open: the failure is the skipped candidate's, not a
+		// new transition.
+		return false
+	}
+}
+
+// Tick advances every open circuit by one prober round; circuits whose
+// cooldown expires move to half-open.
+func (b *breakerSet) Tick() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.workers {
+		if e.state == breakerOpen {
+			e.wait--
+			if e.wait <= 0 {
+				e.state = breakerHalfOpen
+				e.trial = false
+			}
+		}
+	}
+}
+
+// State returns the worker's circuit position (observability and tests).
+func (b *breakerSet) State(id string) breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.workers[id]; e != nil {
+		return e.state
+	}
+	return breakerClosed
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import "testing"
+
+// TestBreakerOpensAfterThreshold: consecutive failures open the
+// circuit, Tick-driven cooldown moves it to half-open, and a
+// successful trial snaps it closed.
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreakerSet(3, 2)
+	for i := 0; i < 2; i++ {
+		if opened := b.OnFailure("w1"); opened {
+			t.Fatalf("circuit opened after %d failures, threshold is 3", i+1)
+		}
+		if !b.Allow("w1") {
+			t.Fatalf("closed circuit refused traffic after %d failures", i+1)
+		}
+	}
+	if !b.OnFailure("w1") {
+		t.Fatal("third consecutive failure did not open the circuit")
+	}
+	if b.State("w1") != breakerOpen {
+		t.Fatalf("state = %v, want open", b.State("w1"))
+	}
+	if b.Allow("w1") {
+		t.Fatal("open circuit admitted a request")
+	}
+
+	b.Tick()
+	if b.Allow("w1") {
+		t.Fatal("circuit admitted a request one tick into a two-tick cooldown")
+	}
+	b.Tick()
+	if b.State("w1") != breakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State("w1"))
+	}
+	if !b.Allow("w1") {
+		t.Fatal("half-open circuit refused the trial request")
+	}
+	if b.Allow("w1") {
+		t.Fatal("half-open circuit admitted a second concurrent trial")
+	}
+	b.OnSuccess("w1")
+	if b.State("w1") != breakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", b.State("w1"))
+	}
+	if !b.Allow("w1") {
+		t.Fatal("closed circuit refused traffic")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed trial sends the circuit
+// straight back to open for a full cooldown.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := newBreakerSet(1, 1)
+	b.OnFailure("w1") // opens (threshold 1)
+	b.Tick()          // half-open
+	if !b.Allow("w1") {
+		t.Fatal("half-open circuit refused the trial")
+	}
+	if !b.OnFailure("w1") {
+		t.Fatal("failed trial did not re-open the circuit")
+	}
+	if b.Allow("w1") {
+		t.Fatal("re-opened circuit admitted a request")
+	}
+}
+
+// TestBreakerSuccessResetsFailureStreak: an intervening success wipes
+// the consecutive-failure count — the breaker trips on streaks, not
+// lifetime totals.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreakerSet(3, 2)
+	b.OnFailure("w1")
+	b.OnFailure("w1")
+	b.OnSuccess("w1")
+	b.OnFailure("w1")
+	b.OnFailure("w1")
+	if b.State("w1") != breakerClosed {
+		t.Fatalf("state = %v after 2-failure streak, want closed (threshold 3)", b.State("w1"))
+	}
+	if b.OnFailure("w1") != true {
+		t.Fatal("third consecutive failure did not open the circuit")
+	}
+}
+
+// TestBreakerIsolatesWorkers: one worker's failures never move another
+// worker's circuit.
+func TestBreakerIsolatesWorkers(t *testing.T) {
+	b := newBreakerSet(1, 1)
+	b.OnFailure("w1")
+	if b.State("w1") != breakerOpen {
+		t.Fatal("w1 circuit did not open")
+	}
+	if b.State("w2") != breakerClosed || !b.Allow("w2") {
+		t.Fatal("w2 circuit moved on w1's failure")
+	}
+}

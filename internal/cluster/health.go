@@ -2,17 +2,21 @@ package cluster
 
 import (
 	"context"
+	"fmt"
+	"hash/fnv"
 	"net/http"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // probeLoop runs the active health checker until ctx is cancelled:
 // every ProbeInterval each declared worker is probed (with bounded
-// retry + exponential backoff inside the round), and FailThreshold
-// consecutive failed rounds mark it dead. A dead worker keeps being
-// probed, so recovery is detected and the membership version bumps back.
-// Routing additionally marks workers down passively on proxy errors —
-// the prober is what brings them back.
+// retry + backoff inside the round, via the shared retry policy), and
+// FailThreshold consecutive failed rounds mark it dead. A dead worker
+// keeps being probed, so recovery is detected and the membership
+// version bumps back. Routing additionally marks workers down passively
+// on proxy errors — the prober is what brings them back.
 func (r *Router) probeLoop(ctx context.Context) {
 	//lint:ignore determinism health probing is wall-clock observability; no simulation result depends on it
 	ticker := time.NewTicker(r.opts.ProbeInterval)
@@ -28,7 +32,10 @@ func (r *Router) probeLoop(ctx context.Context) {
 }
 
 // ProbeOnce runs one probe round over the whole fleet (exported so tests
-// and the smoke gate can drive failure detection deterministically).
+// and the smoke gate can drive failure detection deterministically). A
+// probe round is also the circuit breakers' clock tick: open circuits
+// cool down in rounds, not wall time, so breaker recovery is as
+// deterministic as the probing that drives it.
 func (r *Router) ProbeOnce(ctx context.Context) {
 	for _, wk := range r.members.Workers() {
 		if r.probeWorker(ctx, wk.URL) {
@@ -39,36 +46,42 @@ func (r *Router) ProbeOnce(ctx context.Context) {
 			r.members.MarkDown(wk.ID)
 		}
 	}
+	r.breakers.Tick()
 }
 
-// probeWorker makes up to 1+ProbeRetries attempts against the worker's
-// /healthz, doubling the backoff between attempts. Only a 200 counts as
-// healthy: a draining worker (503) must stop receiving submissions just
-// like a dead one.
+// probePolicy builds one worker's probe retry policy: bounded attempts
+// with capped backoff, the jitter stream keyed by the worker's URL so
+// a fleet of probers doesn't thunder in lockstep yet every round's
+// schedule is reproducible.
+func (r *Router) probePolicy(url string) retry.Policy {
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	return retry.Policy{
+		Base:        r.opts.ProbeBackoff,
+		Cap:         8 * r.opts.ProbeBackoff,
+		MaxAttempts: r.opts.ProbeRetries + 1,
+		Seed:        h.Sum64(),
+	}
+}
+
+// probeWorker runs one probe round against the worker's /healthz under
+// the shared retry policy. Only a 200 counts as healthy: a draining
+// worker (503) must stop receiving submissions just like a dead one.
 func (r *Router) probeWorker(ctx context.Context, url string) bool {
-	backoff := r.opts.ProbeBackoff
-	for attempt := 0; attempt <= r.opts.ProbeRetries; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return false
-			//lint:ignore determinism retry backoff is wall-clock plumbing, not simulation state
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-		}
+	err := retry.Do(ctx, r.probePolicy(url), func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
 		if err != nil {
-			return false
+			return retry.Permanent(err)
 		}
 		resp, err := r.probe.Do(req)
 		if err != nil {
-			continue
+			return err
 		}
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			return true
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("healthz status %d", resp.StatusCode)
 		}
-	}
-	return false
+		return nil
+	})
+	return err == nil
 }

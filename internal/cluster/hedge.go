@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// hedgeWindowCap bounds the per-worker latency ring the hedger reads
+// its p99 from.
+const hedgeWindowCap = 256
+
+// hedger drives p99 request hedging for idempotent reads. It keeps a
+// windowed latency ring per worker; once a worker has enough samples,
+// a status read routed to it arms a timer at that worker's own p99 —
+// if the worker hasn't answered by then, the same request is fired at
+// the next failover candidate and whichever response lands first wins.
+// Only content-hash GETs are ever hedged (both workers serving the
+// same id return byte-identical documents), and never event streams
+// (duplicating a stream is not idempotent from the client's seat).
+//
+// The ring is deliberately separate from the shard Tracker: Snapshot
+// there rotates the window (it is the rebalancer's collection
+// interval), while the hedger needs a non-destructive read on every
+// request.
+type hedger struct {
+	mu         sync.Mutex
+	minSamples int
+	byWorker   map[string]*hedgeWindow
+}
+
+type hedgeWindow struct {
+	n       int
+	samples [hedgeWindowCap]time.Duration
+}
+
+func newHedger(minSamples int) *hedger {
+	return &hedger{minSamples: minSamples, byWorker: map[string]*hedgeWindow{}}
+}
+
+// Record feeds one completed request's latency into the worker's ring.
+func (h *hedger) Record(id string, d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.byWorker[id]
+	if w == nil {
+		w = &hedgeWindow{}
+		h.byWorker[id] = w
+	}
+	w.samples[w.n%hedgeWindowCap] = d
+	w.n++
+}
+
+// Delay returns the hedge trigger for a read routed to the worker: the
+// p99 of its retained window. ok is false until the worker has
+// minSamples — hedging on a cold window would fire on noise.
+func (h *hedger) Delay(id string) (time.Duration, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.byWorker[id]
+	if w == nil || w.n < h.minSamples {
+		return 0, false
+	}
+	kept := w.n
+	if kept > hedgeWindowCap {
+		kept = hedgeWindowCap
+	}
+	ds := make([]time.Duration, kept)
+	copy(ds, w.samples[:kept])
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := int(0.99 * float64(kept))
+	if i >= kept {
+		i = kept - 1
+	}
+	d := ds[i]
+	if d <= 0 {
+		return 0, false
+	}
+	return d, true
+}

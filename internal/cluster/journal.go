@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalRecord is one line of the flight journal: a begin when the
+// router accepts a submission, a done when the worker's response has
+// been fully relayed (or the submission was shed with a client-visible
+// error — either way the router owes nothing further).
+type journalRecord struct {
+	Op    string          `json:"op"` // "begin" | "done"
+	ID    string          `json:"id"`
+	Shard int             `json:"shard,omitempty"`
+	Body  json.RawMessage `json:"body,omitempty"`
+}
+
+// PendingFlight is a journaled submission with a begin but no done: the
+// router (or the worker it was proxying to) died mid-flight. The body
+// is the original spec, so the flight can simply be re-submitted — the
+// content-hash id makes replay idempotent, and the result lands in the
+// DirStore exactly as if the first attempt had finished.
+type PendingFlight struct {
+	ID    string
+	Shard int
+	Body  []byte
+}
+
+// Journal is the router's durable flight log: an append-only JSONL file
+// recording begin/done per submission. On restart, LoadJournal returns
+// the flights that never completed and the router resubmits them — a
+// router crash or worker death degrades to "the work finishes slightly
+// later" instead of "the work is lost".
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// OpenJournal opens (creating if needed) the journal file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Begin records an accepted submission. The record is flushed to the
+// file before the proxy attempt starts, so a crash at any later point
+// leaves a resumable entry.
+func (j *Journal) Begin(id string, shard int, body []byte) error {
+	return j.append(journalRecord{Op: "begin", ID: id, Shard: shard, Body: json.RawMessage(body)})
+}
+
+// Done records a completed (or definitively answered) submission.
+func (j *Journal) Done(id string) error {
+	return j.append(journalRecord{Op: "done", ID: id})
+}
+
+func (j *Journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("cluster: journal closed")
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.w.Flush()
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// LoadJournal replays the journal file and returns the pending flights
+// (begin without done) in journal order. A missing file is an empty
+// journal; a torn final line (the crash happened mid-append) is
+// ignored, matching the write protocol where a record only counts once
+// its newline is durable. Duplicate begins for one id (a resumed flight
+// re-journaled) collapse to the latest.
+func LoadJournal(path string) ([]PendingFlight, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: load journal: %w", err)
+	}
+	defer f.Close()
+
+	pending := map[string]PendingFlight{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), maxBodyBytes+4096)
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// A torn or corrupt line: everything before it already
+			// parsed, and nothing after a tear can be trusted more than
+			// the tear itself — stop here with what we have.
+			break
+		}
+		switch rec.Op {
+		case "begin":
+			if _, dup := pending[rec.ID]; !dup {
+				order = append(order, rec.ID)
+			}
+			pending[rec.ID] = PendingFlight{ID: rec.ID, Shard: rec.Shard, Body: []byte(rec.Body)}
+		case "done":
+			delete(pending, rec.ID)
+		}
+	}
+	if err := sc.Err(); err != nil && len(pending) == 0 {
+		return nil, fmt.Errorf("cluster: scan journal: %w", err)
+	}
+	out := make([]PendingFlight, 0, len(pending))
+	for _, id := range order {
+		if fl, ok := pending[id]; ok {
+			out = append(out, fl)
+		}
+	}
+	return out, nil
+}
+
+// Compact rewrites the journal to contain only the given pending
+// flights (normally called after a successful resume with an empty
+// slice, shrinking the file back to nothing).
+func (j *Journal) Compact(pending []PendingFlight) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("cluster: journal closed")
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, fl := range pending {
+		line, err := json.Marshal(journalRecord{Op: "begin", ID: fl.ID, Shard: fl.Shard, Body: json.RawMessage(fl.Body)})
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Re-open the live handle onto the compacted file.
+	j.w.Flush()
+	j.f.Close()
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		return err
+	}
+	j.f = nf
+	j.w = bufio.NewWriter(nf)
+	return nil
+}

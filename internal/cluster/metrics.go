@@ -23,6 +23,14 @@ type Metrics struct {
 	replicasRetired int64            // rebalancer: replicas retired
 	fillObjects     int64            // store objects copied by replica fills
 	rebalancePolls  int64            // completed rebalancer polls
+
+	truncatedStreams int64 // relayed streams that ended without a terminal frame
+	hedgesFired      int64 // hedged secondary attempts launched
+	hedgesWon        int64 // hedged attempts whose secondary answered first
+	breakerOpens     int64 // circuit transitions into open
+	breakerSkips     int64 // candidates skipped because their circuit was open
+	attemptTimeouts  int64 // proxy attempts cancelled waiting for headers
+	resumedFlights   int64 // journaled flights resumed after restart
 }
 
 func newMetrics() *Metrics {
@@ -78,6 +86,48 @@ func (m *Metrics) countPoll() {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) countTruncatedStream() {
+	m.mu.Lock()
+	m.truncatedStreams++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countHedgeFired() {
+	m.mu.Lock()
+	m.hedgesFired++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countHedgeWon() {
+	m.mu.Lock()
+	m.hedgesWon++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countBreakerOpen() {
+	m.mu.Lock()
+	m.breakerOpens++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countBreakerSkip() {
+	m.mu.Lock()
+	m.breakerSkips++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countAttemptTimeout() {
+	m.mu.Lock()
+	m.attemptTimeouts++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countResumedFlight() {
+	m.mu.Lock()
+	m.resumedFlights++
+	m.mu.Unlock()
+}
+
 // ReplicasAdded returns how many replicas the rebalancer has activated
 // (tests and the load generator read this through /metrics; this
 // accessor serves in-process assertions).
@@ -99,6 +149,73 @@ func (m *Metrics) ReplicaReads() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.replicaReads
+}
+
+// TruncatedStreams returns how many relayed streams ended without a
+// terminal frame.
+func (m *Metrics) TruncatedStreams() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.truncatedStreams
+}
+
+// HedgesFired returns how many hedged secondary attempts launched.
+func (m *Metrics) HedgesFired() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hedgesFired
+}
+
+// HedgesWon returns how many hedges were answered by the secondary.
+func (m *Metrics) HedgesWon() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hedgesWon
+}
+
+// BreakerOpens returns how many times a worker circuit opened.
+func (m *Metrics) BreakerOpens() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.breakerOpens
+}
+
+// Failovers returns how many proxy attempts moved to the next
+// candidate.
+func (m *Metrics) Failovers() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failovers
+}
+
+// NoWorker returns how many submissions were shed with no candidate.
+func (m *Metrics) NoWorker() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.noWorker
+}
+
+// AttemptTimeouts returns how many proxy attempts were cancelled
+// waiting for response headers.
+func (m *Metrics) AttemptTimeouts() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.attemptTimeouts
+}
+
+// BreakerSkips returns how many proxy candidates were skipped on an
+// open circuit.
+func (m *Metrics) BreakerSkips() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.breakerSkips
+}
+
+// ResumedFlights returns how many journaled flights were resumed.
+func (m *Metrics) ResumedFlights() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resumedFlights
 }
 
 // Render writes the Prometheus text exposition. aliveWorkers,
@@ -164,5 +281,27 @@ func (m *Metrics) Render(aliveWorkers int, membershipVersion uint64, activeRepli
 	w("# HELP mimdrouter_rebalance_polls_total Completed rebalancer polls over /shardstats.\n")
 	w("# TYPE mimdrouter_rebalance_polls_total counter\n")
 	w("mimdrouter_rebalance_polls_total %d\n", m.rebalancePolls)
+
+	w("# HELP mimdrouter_truncated_streams_total Relayed streams that ended without a terminal frame.\n")
+	w("# TYPE mimdrouter_truncated_streams_total counter\n")
+	w("mimdrouter_truncated_streams_total %d\n", m.truncatedStreams)
+	w("# HELP mimdrouter_hedges_fired_total Hedged secondary read attempts launched.\n")
+	w("# TYPE mimdrouter_hedges_fired_total counter\n")
+	w("mimdrouter_hedges_fired_total %d\n", m.hedgesFired)
+	w("# HELP mimdrouter_hedges_won_total Hedged reads answered first by the secondary.\n")
+	w("# TYPE mimdrouter_hedges_won_total counter\n")
+	w("mimdrouter_hedges_won_total %d\n", m.hedgesWon)
+	w("# HELP mimdrouter_breaker_opens_total Worker circuit-breaker transitions into open.\n")
+	w("# TYPE mimdrouter_breaker_opens_total counter\n")
+	w("mimdrouter_breaker_opens_total %d\n", m.breakerOpens)
+	w("# HELP mimdrouter_breaker_skips_total Proxy candidates skipped on an open circuit.\n")
+	w("# TYPE mimdrouter_breaker_skips_total counter\n")
+	w("mimdrouter_breaker_skips_total %d\n", m.breakerSkips)
+	w("# HELP mimdrouter_attempt_timeouts_total Proxy attempts cancelled waiting for response headers.\n")
+	w("# TYPE mimdrouter_attempt_timeouts_total counter\n")
+	w("mimdrouter_attempt_timeouts_total %d\n", m.attemptTimeouts)
+	w("# HELP mimdrouter_resumed_flights_total Journaled flights resumed after a router restart.\n")
+	w("# TYPE mimdrouter_resumed_flights_total counter\n")
+	w("mimdrouter_resumed_flights_total %d\n", m.resumedFlights)
 	return b.String()
 }

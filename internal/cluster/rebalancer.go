@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // rebalanceLoop runs the p99-driven rebalancer until ctx is cancelled.
@@ -158,15 +160,28 @@ func (r *Router) stepShard(ctx context.Context, shard int, merged Digest, alive 
 
 // addReplica activates the shard's rendezvous successor as a read
 // replica: fill its store from the owner, then start alternating the
-// shard's submissions. A failed fill leaves the shard unreplicated; the
-// still-hot shard trips again next poll.
+// shard's submissions. The fill runs under the shared retry policy
+// (seeded by the shard index, so each shard's backoff schedule is
+// reproducible); a fill that exhausts its attempts leaves the shard
+// unreplicated, and the still-hot shard trips again next poll.
 func (r *Router) addReplica(ctx context.Context, shard int, alive []string) {
 	owner := Owner(alive, shard)
 	succ := Successor(alive, shard)
 	if owner == "" || succ == "" {
 		return // a 1-worker fleet has nowhere to replicate
 	}
-	filled, err := r.fillReplica(ctx, r.members.URL(succ), r.members.URL(owner), shard)
+	policy := retry.Policy{
+		Base:        100 * time.Millisecond,
+		Cap:         time.Second,
+		MaxAttempts: 3,
+		Seed:        uint64(shard),
+	}
+	var filled int64
+	err := retry.Do(ctx, policy, func(ctx context.Context) error {
+		n, ferr := r.fillReplica(ctx, r.members.URL(succ), r.members.URL(owner), shard)
+		filled = n
+		return ferr
+	})
 	if err != nil {
 		return
 	}
@@ -196,7 +211,13 @@ func (r *Router) fillReplica(ctx context.Context, succURL, ownerURL string, shar
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("cluster: replica fill: status %d", resp.StatusCode)
+		err := fmt.Errorf("cluster: replica fill: status %d", resp.StatusCode)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// A 4xx is deterministic (bad shard, mismatched fleet
+			// config); retrying the same fill cannot fix it.
+			return 0, retry.Permanent(err)
+		}
+		return 0, err
 	}
 	var fr FillResponse
 	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {

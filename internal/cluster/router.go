@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -62,6 +63,29 @@ type Options struct {
 	// FailThreshold is how many consecutive failed probe rounds mark a
 	// worker dead; 0 means 2.
 	FailThreshold int
+
+	// AttemptTimeout bounds how long one proxy attempt may wait for
+	// response *headers* before the router cancels it and fails over —
+	// the defense against a paused (accepted-but-silent) worker. It
+	// never cuts a stream that has started answering. 0 disables.
+	AttemptTimeout time.Duration
+	// BreakerThreshold is how many consecutive failed requests open a
+	// worker's circuit; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how many prober rounds an open circuit waits
+	// before admitting a half-open trial; 0 means 2.
+	BreakerCooldown int
+	// Hedge enables p99-driven request hedging for idempotent job
+	// status reads. Off by default — and it must stay off under the
+	// chaos campaign, where a hedged attempt would consume fault-plan
+	// sequence numbers nondeterministically.
+	Hedge bool
+	// HedgeMinSamples is how many latencies a worker's window needs
+	// before its reads can hedge; 0 means 32.
+	HedgeMinSamples int
+	// Journal, when set, records begin/done per submission so a router
+	// restart resumes in-flight work (see ResumePending).
+	Journal *Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +131,15 @@ func (o Options) withDefaults() Options {
 	if o.FailThreshold <= 0 {
 		o.FailThreshold = 2
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 32
+	}
 	return o
 }
 
@@ -126,12 +159,16 @@ type shardSlot struct {
 // proxies submissions to the rendezvous owner of each request's shard,
 // and runs the health prober and the p99 rebalancer.
 type Router struct {
-	opts    Options
-	members *Membership
-	metrics *Metrics
-	shards  []shardSlot
-	probe   *http.Client
-	mux     *http.ServeMux
+	opts     Options
+	members  *Membership
+	metrics  *Metrics
+	shards   []shardSlot
+	probe    *http.Client
+	mux      *http.ServeMux
+	breakers *breakerSet
+	hedge    *hedger
+	draining atomic.Bool
+	inflight sync.WaitGroup
 }
 
 // New builds a router over the declared fleet.
@@ -145,11 +182,13 @@ func New(opts Options) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{
-		opts:    opts,
-		members: members,
-		metrics: newMetrics(),
-		shards:  make([]shardSlot, opts.NumShards),
-		probe:   &http.Client{Timeout: opts.ProbeTimeout},
+		opts:     opts,
+		members:  members,
+		metrics:  newMetrics(),
+		shards:   make([]shardSlot, opts.NumShards),
+		probe:    &http.Client{Timeout: opts.ProbeTimeout},
+		breakers: newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown),
+		hedge:    newHedger(opts.HedgeMinSamples),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
@@ -197,6 +236,10 @@ const maxBodyBytes = 1 << 20
 // content-hash id, map it to a shard, and proxy to the shard's owner
 // (or, for a replicated hot shard, alternate between owner and replica).
 func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	if r.draining.Load() {
+		r.writeError(w, http.StatusServiceUnavailable, "router draining")
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
 	if err != nil {
 		r.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
@@ -208,16 +251,30 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	shard := ShardOf(id, r.opts.NumShards)
+	if j := r.opts.Journal; j != nil {
+		// Journal before the first proxy byte moves: a crash anywhere
+		// past this point leaves a resumable begin record. Done is
+		// written once the client has a definitive answer — including a
+		// shed or an explicit error frame, after which the client owns
+		// the retry.
+		j.Begin(id, shard, body)
+		defer j.Done(id)
+	}
 	r.proxyToShard(w, req, shard, body)
 }
 
 // handleByID routes GET /v1/jobs/{id} and GET /v1/jobs/{id}/events by
 // the id already embedded in the path — the same shard mapping the
 // submission used, so polls and event streams land on the worker that
-// ran the flight.
+// ran the flight. Plain status reads are the one hedgeable request
+// shape: content-hash idempotent, no stream, byte-identical from any
+// worker holding the result.
 func (r *Router) handleByID(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	shard := ShardOf(id, r.opts.NumShards)
+	if r.opts.Hedge && !strings.HasSuffix(req.URL.Path, "/events") && r.hedgedGet(w, req, shard) {
+		return
+	}
 	r.proxyToShard(w, req, shard, nil)
 }
 
@@ -258,14 +315,44 @@ func (r *Router) candidates(shard int) (ids []string, replicaRead bool) {
 	return out, true
 }
 
+// gatewayStatus reports whether a worker response should be treated as
+// a failed attempt rather than relayed: 502/503/504 are "the machinery
+// in front of the answer broke (or shed)", and another candidate may
+// hold the answer. A 500 is the engine's own verdict and relays
+// untouched — retrying a deterministic failure elsewhere just burns a
+// second worker on it.
+func gatewayStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
 // proxyToShard forwards the request to the shard's candidates in order,
 // failing over (and passively marking workers down) on connection
-// errors. Once a worker has started answering, the response streams
-// through; if the worker dies mid-stream the router appends a terminal
-// error frame so the client can tell "worker lost" from "complete".
+// errors, attempt timeouts, and gateway-class 5xx responses — each of
+// which also feeds the worker's circuit breaker, and open circuits are
+// skipped up front. Non-streaming responses are fully buffered before
+// the first byte reaches the client, so even a mid-body failure can
+// still fail over; a stream that has started relaying cannot, and gets
+// an explicit terminal error frame instead.
 func (r *Router) proxyToShard(w http.ResponseWriter, req *http.Request, shard int, body []byte) {
+	r.inflight.Add(1)
+	defer r.inflight.Done()
 	cands, replicaRead := r.candidates(shard)
 	for i, id := range cands {
+		if !r.breakers.Allow(id) {
+			r.metrics.countBreakerSkip()
+			continue
+		}
+		fail := func() {
+			if r.breakers.OnFailure(id) {
+				r.metrics.countBreakerOpen()
+			}
+			if i+1 < len(cands) {
+				r.metrics.countFailover()
+			}
+			replicaRead = false
+		}
 		target := r.members.URL(id)
 		out, err := http.NewRequestWithContext(req.Context(), req.Method,
 			target+req.URL.Path, bodyReader(body))
@@ -275,27 +362,296 @@ func (r *Router) proxyToShard(w http.ResponseWriter, req *http.Request, shard in
 		}
 		out.URL.RawQuery = req.URL.RawQuery
 		copyHeader(out.Header, req.Header, "Content-Type", "Accept")
-		resp, err := r.opts.Client.Do(out)
+		start := wallNow()
+		resp, err := r.doAttempt(out)
 		if err != nil {
 			if req.Context().Err() != nil {
 				// The client went away; nothing to answer.
 				return
 			}
-			// The worker is unreachable: passive failure detection. The
-			// prober will notice recovery.
+			// The worker is unreachable (or silent past the attempt
+			// timeout): passive failure detection. The prober notices
+			// recovery.
 			r.members.MarkDown(id)
-			if i+1 < len(cands) {
-				r.metrics.countFailover()
-			}
-			replicaRead = false
+			fail()
 			continue
 		}
+		if gatewayStatus(resp.StatusCode) {
+			// Never relay a gateway-class 5xx: when every candidate is
+			// exhausted the loop falls through to the router's own 503
+			// with a Retry-After hint, so clients see one uniform shed
+			// signal instead of whatever a dying hop emitted (a bare
+			// 502 carries no retry contract at all).
+			resp.Body.Close()
+			fail()
+			continue
+		}
+		ct := resp.Header.Get("Content-Type")
+		if !IsStreamContentType(ct) {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// A short body is as fatal as a read error: a connection cut
+			// mid-transfer can surface as a clean EOF before Content-Length
+			// bytes arrived, and relaying the stump would hand the client a
+			// corrupt document.
+			short := resp.ContentLength > int64(len(data))
+			if (rerr != nil || short) && req.Context().Err() == nil {
+				// The body died under us before anything was relayed —
+				// this candidate's answer is gone, but the next one's
+				// isn't.
+				fail()
+				continue
+			}
+			r.breakers.OnSuccess(id)
+			r.hedge.Record(id, wallNow().Sub(start))
+			r.metrics.countProxied(id, replicaRead && i == 0)
+			copyHeader(w.Header(), resp.Header, "Content-Type", "Retry-After", "Cache-Control")
+			w.WriteHeader(resp.StatusCode)
+			w.Write(data)
+			return
+		}
+		r.breakers.OnSuccess(id)
 		r.metrics.countProxied(id, replicaRead && i == 0)
 		r.relay(w, resp)
 		return
 	}
 	r.metrics.countNoWorker()
 	r.writeError(w, http.StatusServiceUnavailable, "no worker available for shard "+strconv.Itoa(shard))
+}
+
+// doAttempt performs one proxy attempt, bounding the wait for response
+// headers by AttemptTimeout when configured. The timeout only covers
+// the header wait: once a worker has started answering, its stream
+// lives as long as it keeps sending (the body carries the attempt's
+// cancel, released on Close).
+func (r *Router) doAttempt(out *http.Request) (*http.Response, error) {
+	if r.opts.AttemptTimeout <= 0 {
+		return r.opts.Client.Do(out)
+	}
+	ctx, cancel := context.WithCancel(out.Context())
+	out = out.WithContext(ctx)
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := r.opts.Client.Do(out)
+		ch <- result{resp, err}
+	}()
+	//lint:ignore determinism the attempt timeout is wall-clock failure detection; no simulation result depends on it
+	timer := time.NewTimer(r.opts.AttemptTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			cancel()
+			return nil, res.err
+		}
+		res.resp.Body = &cancelBody{ReadCloser: res.resp.Body, cancel: cancel}
+		return res.resp, nil
+	case <-timer.C:
+		cancel()
+		if res := <-ch; res.resp != nil {
+			res.resp.Body.Close()
+		}
+		r.metrics.countAttemptTimeout()
+		return nil, fmt.Errorf("cluster: no response headers within %v", r.opts.AttemptTimeout)
+	}
+}
+
+// cancelBody ties an attempt's context cancel to the response body's
+// lifetime.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// hedgedGet serves an idempotent status read with p99 hedging: fire the
+// primary candidate, and if it hasn't answered within its own windowed
+// p99, fire the next candidate too — first good answer wins. Returns
+// false when hedging doesn't apply (cold window, lone candidate); the
+// caller falls back to the plain proxy path.
+func (r *Router) hedgedGet(w http.ResponseWriter, req *http.Request, shard int) bool {
+	cands, _ := r.candidates(shard)
+	if len(cands) < 2 {
+		return false
+	}
+	delay, ok := r.hedge.Delay(cands[0])
+	if !ok {
+		return false
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Done()
+
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	type result struct {
+		id   string
+		data []byte
+		resp *http.Response
+		err  error
+		dur  time.Duration
+	}
+	ch := make(chan result, 2)
+	fire := func(id string) {
+		start := wallNow()
+		out, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			r.members.URL(id)+req.URL.Path, nil)
+		if err != nil {
+			ch <- result{id: id, err: err}
+			return
+		}
+		out.URL.RawQuery = req.URL.RawQuery
+		copyHeader(out.Header, req.Header, "Accept")
+		resp, err := r.opts.Client.Do(out)
+		if err != nil {
+			ch <- result{id: id, err: err}
+			return
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			ch <- result{id: id, err: err}
+			return
+		}
+		ch <- result{id: id, data: data, resp: resp, dur: wallNow().Sub(start)}
+	}
+	go fire(cands[0])
+	//lint:ignore determinism the hedge trigger is wall-clock tail-latency defense; campaigns run with hedging disabled
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	launched, failed := 1, 0
+	for {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				r.metrics.countHedgeFired()
+				go fire(cands[1])
+			}
+		case res := <-ch:
+			good := res.err == nil && !gatewayStatus(res.resp.StatusCode)
+			if good {
+				r.breakers.OnSuccess(res.id)
+				r.hedge.Record(res.id, res.dur)
+				if res.id == cands[1] {
+					r.metrics.countHedgeWon()
+				}
+				r.metrics.countProxied(res.id, false)
+				copyHeader(w.Header(), res.resp.Header, "Content-Type", "Retry-After", "Cache-Control")
+				w.WriteHeader(res.resp.StatusCode)
+				w.Write(res.data)
+				return true
+			}
+			failed++
+			if failed >= launched && launched == 2 {
+				r.metrics.countNoWorker()
+				r.writeError(w, http.StatusServiceUnavailable, "no worker available for shard "+strconv.Itoa(shard))
+				return true
+			}
+			if launched == 1 {
+				// The primary failed before the hedge trigger: fire the
+				// secondary immediately rather than waiting out the timer.
+				launched = 2
+				r.metrics.countHedgeFired()
+				go fire(cands[1])
+			}
+		case <-req.Context().Done():
+			return true
+		}
+	}
+}
+
+// Drain stops accepting new submissions (they shed with 503 and a
+// Retry-After hint) and waits for every in-flight relay — including
+// live event streams — to finish, or for ctx to give up.
+func (r *Router) Drain(ctx context.Context) error {
+	r.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		r.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (r *Router) Draining() bool { return r.draining.Load() }
+
+// ResumePending replays the journal's unfinished flights against the
+// fleet: each pending submission is re-proxied to its shard (the
+// content-hash id makes replay idempotent — a flight that actually
+// finished before the crash is answered straight from the worker's
+// store). Successfully resumed flights are compacted out of the
+// journal; flights that still cannot complete stay pending for the
+// next restart. Returns how many flights were resumed.
+func (r *Router) ResumePending(ctx context.Context) (int, error) {
+	j := r.opts.Journal
+	if j == nil {
+		return 0, nil
+	}
+	pending, err := LoadJournal(j.Path())
+	if err != nil {
+		return 0, err
+	}
+	if len(pending) == 0 {
+		return 0, nil
+	}
+	var remaining []PendingFlight
+	resumed := 0
+	for _, fl := range pending {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "/v1/jobs", nil)
+		if err != nil {
+			remaining = append(remaining, fl)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		rec := &resumeRecorder{header: make(http.Header)}
+		r.proxyToShard(rec, req, fl.Shard, fl.Body)
+		if rec.code >= 200 && rec.code < 300 {
+			resumed++
+			r.metrics.countResumedFlight()
+		} else {
+			remaining = append(remaining, fl)
+		}
+	}
+	if err := j.Compact(remaining); err != nil {
+		return resumed, err
+	}
+	return resumed, nil
+}
+
+// resumeRecorder is the throwaway ResponseWriter a journal resume
+// proxies into — nobody is waiting on the original connection anymore;
+// only the outcome code matters.
+type resumeRecorder struct {
+	header http.Header
+	code   int
+}
+
+func (r *resumeRecorder) Header() http.Header { return r.header }
+func (r *resumeRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+func (r *resumeRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return len(b), nil
 }
 
 // bodyReader wraps a buffered body for one proxy attempt (nil for GETs).
@@ -307,18 +663,38 @@ func bodyReader(body []byte) io.Reader {
 }
 
 // relay streams the worker's response through, flushing as bytes arrive
-// so SSE frames are delivered live. A mid-stream upstream failure
-// appends a terminal error frame matched to the stream's content type.
+// so SSE frames are delivered live, while a TerminalScanner watches for
+// the worker's end frame. Two upstream failures get an explicit
+// terminal error frame appended: a mid-stream read error ("worker
+// connection lost") and — the subtler one — a clean EOF with no end
+// frame observed, which is a transport truncation however healthy it
+// looked byte-by-byte.
 func (r *Router) relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	ct := resp.Header.Get("Content-Type")
 	copyHeader(w.Header(), resp.Header, "Content-Type", "Retry-After", "Cache-Control")
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
+	scan := NewTerminalScanner(ct)
+	errorFrame := func(msg string) {
+		// Clients distinguish this frame from the worker's own terminal
+		// "end" frame and resubmit; the resubmission routes to the next
+		// candidate (or the shard's replica).
+		switch {
+		case strings.Contains(ct, "text/event-stream"):
+			fmt.Fprintf(w, "event: error\ndata: {\"error\":%q}\n\n", msg)
+		case strings.Contains(ct, "application/x-ndjson"):
+			fmt.Fprintf(w, "{\"event\":\"error\",\"error\":%q}\n", msg)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	buf := make([]byte, 32*1024)
 	for {
 		n, err := resp.Body.Read(buf)
 		if n > 0 {
+			scan.Observe(buf[:n])
 			if _, werr := w.Write(buf[:n]); werr != nil {
 				return
 			}
@@ -327,25 +703,24 @@ func (r *Router) relay(w http.ResponseWriter, resp *http.Response) {
 			}
 		}
 		if err == io.EOF {
+			if !scan.Terminated() {
+				r.metrics.countTruncatedStream()
+				errorFrame("stream truncated before terminal frame")
+			}
 			return
 		}
 		if err != nil {
-			// The worker died mid-stream. Clients distinguish this frame
-			// from the worker's own terminal "end" frame and resubmit;
-			// the resubmission routes to the next candidate (or the
-			// shard's replica).
-			switch {
-			case strings.Contains(ct, "text/event-stream"):
-				fmt.Fprint(w, "event: error\ndata: {\"error\":\"worker connection lost\"}\n\n")
-			case strings.Contains(ct, "application/x-ndjson"):
-				fmt.Fprint(w, "{\"event\":\"error\",\"error\":\"worker connection lost\"}\n")
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
+			errorFrame("worker connection lost")
 			return
 		}
 	}
+}
+
+// wallNow samples the wall clock for latency observability (hedge
+// windows). No simulation result ever depends on it.
+func wallNow() time.Time {
+	//lint:ignore determinism latency observability needs the wall clock; results never depend on it
+	return time.Now()
 }
 
 // copyHeader copies the named headers that are present in src.

@@ -1,0 +1,79 @@
+package cluster
+
+import "strings"
+
+// IsStreamContentType reports whether the content type is one of the
+// worker's streaming formats (SSE or ndjson). Streaming responses relay
+// byte-for-byte as they arrive; everything else is buffered so the
+// router can still fail over on a mid-body failure.
+func IsStreamContentType(ct string) bool {
+	return strings.Contains(ct, "text/event-stream") || strings.Contains(ct, "application/x-ndjson")
+}
+
+// TerminalScanner watches a relayed stream for the worker's terminal
+// frame. Every complete worker stream ends with an explicit end frame
+// (SSE "event: end", ndjson {"event":"end",...}); a stream that hits
+// EOF without one was cut by the transport, however clean the EOF
+// looked. Before this scanner existed a truncated stream parsed as a
+// short-but-clean result — the seeded bug the chaos Truncate class
+// exists to catch.
+type TerminalScanner struct {
+	sse     bool
+	seen    bool
+	started bool
+	tail    []byte
+}
+
+// NewTerminalScanner builds a scanner for the stream's content type.
+func NewTerminalScanner(ct string) *TerminalScanner {
+	return &TerminalScanner{sse: strings.Contains(ct, "text/event-stream")}
+}
+
+// sseMarkers / ndjsonMarkers open the terminal frames a stream can end
+// with. "error" counts as terminal too: an explicitly signalled failure
+// is detected, not silent truncation.
+var (
+	sseMarkers    = []string{"event: end", "event: error"}
+	ndjsonMarkers = []string{`{"event":"end"`, `{"event":"error"`}
+)
+
+// maxMarkerLen bounds the carry-over tail so a marker split across two
+// Observe calls is still found (every marker plus its preceding newline
+// fits well inside it).
+const maxMarkerLen = 24
+
+// Observe feeds the scanner the next relayed chunk. A terminal frame
+// only counts at the start of a line (or of the stream): SSE data
+// payloads may quote the marker text.
+func (s *TerminalScanner) Observe(p []byte) {
+	if s.seen || len(p) == 0 {
+		return
+	}
+	buf := string(append(s.tail, p...))
+	markers := ndjsonMarkers
+	if s.sse {
+		markers = sseMarkers
+	}
+	for _, m := range markers {
+		for from := 0; ; {
+			idx := strings.Index(buf[from:], m)
+			if idx < 0 {
+				break
+			}
+			idx += from
+			if (idx == 0 && !s.started) || (idx > 0 && buf[idx-1] == '\n') {
+				s.seen = true
+				return
+			}
+			from = idx + 1
+		}
+	}
+	s.started = true
+	if len(buf) > maxMarkerLen {
+		buf = buf[len(buf)-maxMarkerLen:]
+	}
+	s.tail = append(s.tail[:0], buf...)
+}
+
+// Terminated reports whether a terminal frame has been observed.
+func (s *TerminalScanner) Terminated() bool { return s.seen }

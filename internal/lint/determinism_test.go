@@ -3,21 +3,24 @@ package lint
 import "testing"
 
 func TestDeterminismFixture(t *testing.T) {
-	// The fixture seeds twelve violations — two math/rand imports (the
-	// original fixture file and the random shard pick), a map
+	// The fixture seeds thirteen violations — a chaos plan seeded from
+	// the wall clock, two math/rand imports (the original fixture file
+	// and the random shard pick), a map
 	// range that prints, one that appends without sorting, one that
 	// returns an iteration element, a time.Now call, a map range that
 	// journals through json.Encoder, one that emits report rows, a
 	// dense-store snapshot whose sparse-overflow keys escape unsorted,
 	// a fault plan seeded from the wall clock, a request id minted
 	// from the wall clock, and a sweep-job body bounded by a time.After
-	// deadline — while the collect-then-sort, any-match, commutative-fold,
+	// deadline — while the seed-derived chaos plan, collect-then-sort,
+	// any-match, commutative-fold,
 	// map-fill, sorted-journal, ignore-waived, sorted-snapshot, seeded
 	// fault-plan, content-hash request-id, cycle-budget job and
 	// rendezvous shard-pick forms stay silent. Diagnostics arrive sorted
-	// by position, i.e. source order (determinism.go, jobs.go,
-	// shardpick.go).
+	// by position, i.e. source order (chaosplan.go, determinism.go,
+	// jobs.go, shardpick.go).
 	expectDiags(t, runOn(t, "testdata/determinism"), [][2]string{
+		{"determinism", "wall-clock input"},
 		{"determinism", "import of math/rand"},
 		{"determinism", "reaches output through fmt.Println"},
 		{"determinism", `reaches slice "keys" via append without a subsequent sort`},

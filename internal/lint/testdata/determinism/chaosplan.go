@@ -1,0 +1,39 @@
+package determinism
+
+// Fixture pair #14: chaos-plan seeding. internal/chaos derives every
+// fault decision from a splitmix64 finalizer over (campaign seed, class,
+// intensity, request sequence number) — the plan is a pure function, so
+// the same seed replays the same faults and a campaign matrix is
+// byte-identical across runs and parallelism. Seeding the plan from the
+// wall clock instead makes every "repro" inject a different fault
+// schedule, which is exactly the nondeterminism the analyzer exists to
+// catch.
+
+import wall "time"
+
+// chaosMix is the splitmix64 finalizer internal/chaos builds plans on:
+// bijective, stateless, and derived purely from its argument.
+func chaosMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ChaosPlanWallClock seeds the fault plan from the wall clock: two runs
+// of the "same" campaign cell disagree on which requests get faults, so
+// a failed cell can never be replayed.
+func ChaosPlanWallClock(seq uint64) uint64 {
+	seed := uint64(wall.Now().UnixNano()) // want: wall-clock input
+	return chaosMix(seed ^ chaosMix(seq))
+}
+
+// ChaosPlanSeeded is the blessed idiom: the plan's only inputs are the
+// campaign seed and the request sequence number, so Decide(seq) is a
+// pure function and the whole fault schedule replays from the seed.
+// This must stay silent.
+func ChaosPlanSeeded(campaignSeed, seq uint64) uint64 {
+	return chaosMix(campaignSeed ^ chaosMix(seq))
+}

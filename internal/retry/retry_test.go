@@ -1,0 +1,145 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDelayGrowsAndCaps: the pre-jitter schedule doubles from Base and
+// never exceeds Cap, whatever the attempt index.
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Delay(200); got != 80*time.Millisecond {
+		t.Fatalf("Delay(200) = %v, want the 80ms cap (no overflow)", got)
+	}
+}
+
+// TestJitterDeterministicUnderSeed: the jittered schedule is a pure
+// function of (policy, seed) — same seed, same delays; different
+// seeds, different delays; and every delay stays inside the
+// [d*(1-jitter), d) envelope.
+func TestJitterDeterministicUnderSeed(t *testing.T) {
+	a := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5, Seed: 42}
+	b := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5, Seed: 42}
+	c := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5, Seed: 43}
+	diff := false
+	for i := 0; i < 8; i++ {
+		da, db, dc := a.Delay(i), b.Delay(i), c.Delay(i)
+		if da != db {
+			t.Fatalf("Delay(%d) differs under the same seed: %v vs %v", i, da, db)
+		}
+		if da != dc {
+			diff = true
+		}
+		full := Policy{Base: a.Base, Cap: a.Cap, Jitter: -1}.Delay(i)
+		if da < full/2 || da > full {
+			t.Fatalf("Delay(%d) = %v outside the jitter envelope [%v, %v]", i, da, full/2, full)
+		}
+	}
+	if !diff {
+		t.Fatal("8 delays identical across different seeds; jitter stream is not seed-keyed")
+	}
+}
+
+// TestDoStopsOnContextCancel: a Do blocked in its backoff wait returns
+// promptly with ctx.Err() when the context is cancelled.
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Base: time.Hour, Cap: time.Hour, MaxAttempts: 3, Jitter: -1}
+	errs := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		errs <- Do(ctx, p, func(context.Context) error {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			return errors.New("always fails")
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation (stuck in the hour-long backoff)")
+	}
+}
+
+// TestDoHonorsAfterHint: a failure carrying an AfterError waits the
+// hinted duration instead of the computed backoff.
+func TestDoHonorsAfterHint(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: time.Hour, MaxAttempts: 2, Jitter: -1}
+	calls := 0
+	start := time.Now()
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return &AfterError{After: time.Millisecond, Err: errors.New("shed")}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success on attempt 2", err)
+	}
+	if calls != 2 {
+		t.Fatalf("op ran %d times, want 2", calls)
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("hinted wait took %v; the 1ms hint did not override the hour-long backoff", wall)
+	}
+}
+
+// TestDoPermanentStopsImmediately: a Permanent failure ends the loop on
+// the spot, however many attempts remain.
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	base := errors.New("bad spec")
+	calls := 0
+	err := Do(context.Background(), Policy{Base: time.Millisecond, MaxAttempts: 5}, func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("rejected: %w", base))
+	})
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1 (permanent)", calls)
+	}
+	if err == nil || !errors.Is(err, base) {
+		t.Fatalf("Do = %v, want the wrapped permanent error", err)
+	}
+}
+
+// TestDoReturnsLastError: once the attempt budget is spent, the last
+// attempt's error comes back.
+func TestDoReturnsLastError(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Base: time.Microsecond, MaxAttempts: 3, Jitter: -1},
+		func(context.Context) error {
+			calls++
+			return fmt.Errorf("attempt %d failed", calls)
+		})
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	if err == nil || err.Error() != "attempt 3 failed" {
+		t.Fatalf("Do = %v, want the last attempt's error", err)
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestPauseFreezesAndResumeReleases: a paused worker accepts requests
+// but answers nothing — even /healthz — until Resume, at which point
+// every blocked request completes. This is the SIGSTOP profile the
+// chaos campaign's worker-pause class drives.
+func TestPauseFreezesAndResumeReleases(t *testing.T) {
+	tr := &testRunner{}
+	s, ts := newTestServer(t, tr, Options{})
+
+	s.Pause()
+	if !s.Paused() {
+		t.Fatal("Paused() false after Pause")
+	}
+
+	type res struct {
+		code int
+		err  error
+	}
+	results := make(chan res, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			results <- res{err: err}
+			return
+		}
+		resp.Body.Close()
+		results <- res{code: resp.StatusCode}
+	}()
+
+	select {
+	case r := <-results:
+		t.Fatalf("paused worker answered: %+v", r)
+	case <-time.After(100 * time.Millisecond):
+		// Still frozen — good.
+	}
+
+	s.Resume()
+	select {
+	case r := <-results:
+		if r.err != nil || r.code != http.StatusOK {
+			t.Fatalf("resumed healthz = %+v, want 200", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request still blocked after Resume")
+	}
+	if s.Paused() {
+		t.Fatal("Paused() true after Resume")
+	}
+
+	// Idempotence: double pause and double resume are safe, and the
+	// worker keeps serving afterwards.
+	s.Pause()
+	s.Pause()
+	s.Resume()
+	s.Resume()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after pause/resume cycling: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d after pause/resume cycling", resp.StatusCode)
+	}
+}
+
+// TestPausedRequestUnblocksOnClientDeadline: a request held by the
+// pause gate respects the client's context — the caller's deadline, not
+// the worker's mercy, bounds the wait.
+func TestPausedRequestUnblocksOnClientDeadline(t *testing.T) {
+	tr := &testRunner{}
+	s, ts := newTestServer(t, tr, Options{})
+	s.Pause()
+	defer s.Resume()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = http.DefaultClient.Do(req)
+	if err == nil {
+		t.Fatal("request against a paused worker succeeded")
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("deadline took %v to fire; the pause gate is not honoring the request context", wall)
+	}
+}

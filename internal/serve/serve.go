@@ -151,6 +151,12 @@ type Server struct {
 	flights   map[string]*flight // active, by request id
 	done      map[string]*flight // completed, by request id
 	doneOrder []string
+
+	// pauseMu guards the pause gate (see Pause). Separate from mu:
+	// paused requests block on the gate channel, and they must never
+	// block holding the flight-table lock.
+	pauseMu sync.Mutex
+	pauseCh chan struct{} // non-nil while paused; closed by Resume
 }
 
 // New builds a server.
@@ -220,13 +226,60 @@ func New(opts Options) *Server {
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Handler returns the daemon's HTTP handler with request accounting
-// attached.
+// attached. The pause gate sits in front of everything — including
+// /healthz — so a paused worker presents the SIGSTOP profile: the
+// listener accepts, then nothing answers until Resume (or the client
+// gives up). That is exactly the silence the router's attempt timeout
+// and the prober's failure threshold are built to survive.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ch := s.pauseGate(); ch != nil {
+			select {
+			case <-ch:
+			case <-r.Context().Done():
+				return
+			case <-s.baseCtx.Done():
+				return
+			}
+		}
 		cw := &countingWriter{ResponseWriter: w}
 		s.mux.ServeHTTP(cw, r)
 		s.metrics.countRequest(cw.Code())
 	})
+}
+
+// Pause freezes the worker: every request accepted from now on blocks
+// until Resume. Idempotent. Chaos-campaign machinery — the process
+// fault classes pause and resume workers between requests.
+func (s *Server) Pause() {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	if s.pauseCh == nil {
+		s.pauseCh = make(chan struct{})
+	}
+}
+
+// Resume releases every request blocked by Pause. Idempotent.
+func (s *Server) Resume() {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	if s.pauseCh != nil {
+		close(s.pauseCh)
+		s.pauseCh = nil
+	}
+}
+
+// Paused reports whether the worker is currently frozen.
+func (s *Server) Paused() bool {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	return s.pauseCh != nil
+}
+
+func (s *Server) pauseGate() chan struct{} {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	return s.pauseCh
 }
 
 // Shutdown drains the server: new submissions are refused with 503,
@@ -483,10 +536,20 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
 	}
+	// Marshal first and declare the exact length: a response bigger than
+	// the server's write buffer would otherwise go out chunked, and a
+	// mid-body connection cut would then look like a clean short read to
+	// a length-blind consumer. With Content-Length on the wire, the
+	// router's proxy detects the stump and fails over.
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(data)
 }
 
 // handleRun is the synchronous door: submit, wait, answer.

@@ -40,6 +40,13 @@
 #                  cross-worker coalescing, a rebalancer-triggered
 #                  replica read, and 503 + Retry-After with the fleet
 #                  down
+#  13. chaos      a bounded smoke of the S27 chaos layer: router + 2
+#                  workers under two seeded fault classes (conn-refuse,
+#                  truncate); the client contract must hold, every
+#                  completed result must be byte-identical to the
+#                  fault-free single-node oracle, faults must actually
+#                  fire, and the matrix must be byte-identical across
+#                  -j1, -j2, and a same-seed rerun
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -83,5 +90,8 @@ go run ./cmd/mimdserved -smoke
 
 echo "==> mimdrouter -smoke"
 go run ./cmd/mimdrouter -smoke
+
+echo "==> chaoscampaign -smoke"
+go run ./cmd/chaoscampaign -smoke
 
 echo "==> all checks passed"
