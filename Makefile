@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race lint fuzz modelcheck fault bench bench-core serve loadgen bench-serve cluster bench-cluster chaos fmt
+.PHONY: check build test race lint fuzz modelcheck fault bench bench-core serve loadgen bench-serve cluster bench-cluster chaos profile bench-profile fmt
 
 check:
 	sh scripts/check.sh
@@ -76,6 +76,18 @@ bench-cluster:
 # `chaoscampaign -smoke` is the CI gate.
 chaos:
 	$(GO) run ./cmd/chaoscampaign -intensities low,default,high
+
+# profile runs the online miss-ratio-curve profiler self-check: record a
+# tier-1 scenario, replay it as a trace workload, and cross-validate the
+# online curves byte-for-byte against the offline stack algorithm.
+profile:
+	$(GO) run ./cmd/mimdsim -profile-smoke
+
+# bench-profile measures the profiler's overhead and the cache-size
+# sweep one profiled run replaces, writing BENCH_profile.json (schema
+# profile-bench-v1).
+bench-profile:
+	sh scripts/bench.sh profile
 
 fmt:
 	gofmt -w .

@@ -42,8 +42,15 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/experiments"
 	"repro/internal/serve"
 )
+
+// traceFlags collects repeatable -trace name=path arguments.
+type traceFlags []string
+
+func (t *traceFlags) String() string     { return strings.Join(*t, ",") }
+func (t *traceFlags) Set(v string) error { *t = append(*t, v); return nil }
 
 func main() {
 	var (
@@ -65,7 +72,15 @@ func main() {
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight streams on SIGINT before exiting anyway")
 		smoke     = flag.Bool("smoke", false, "bounded self-check: in-process router + 2 workers; verifies routing, coalescing, failover, and a replica read")
 	)
+	var traces traceFlags
+	flag.Var(&traces, "trace", "register a trace workload as name=path (repeatable) for -spawn workers; runnable as experiment \"trace-<name>\"")
 	flag.Parse()
+
+	for _, arg := range traces {
+		if err := experiments.RegisterTraceFile(arg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *smoke {
 		if err := runSmoke(); err != nil {

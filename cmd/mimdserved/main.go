@@ -31,9 +31,16 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
+
+// traceFlags collects repeatable -trace name=path arguments.
+type traceFlags []string
+
+func (t *traceFlags) String() string     { return strings.Join(*t, ",") }
+func (t *traceFlags) Set(v string) error { *t = append(*t, v); return nil }
 
 func main() {
 	var (
@@ -52,7 +59,15 @@ func main() {
 		shards    = flag.Int("shards", 0, "virtual shard space size for latency digests; must match the router's; 0 = default")
 		workerID  = flag.String("worker-id", "", "this worker's id in cluster documents")
 	)
+	var traces traceFlags
+	flag.Var(&traces, "trace", "register a trace workload as name=path (repeatable); runnable as experiment \"trace-<name>\"")
 	flag.Parse()
+
+	for _, arg := range traces {
+		if err := experiments.RegisterTraceFile(arg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *smoke {
 		if err := runSmoke(); err != nil {

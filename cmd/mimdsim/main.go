@@ -24,6 +24,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/mrc"
 	"repro/internal/profiling"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -49,6 +50,9 @@ func main() {
 		latency    = flag.Bool("latency", false, "print the miss-latency distribution")
 		watchdog   = flag.Uint64("watchdog", 1_000_000, "abort if a PE stalls this many cycles (0 = off)")
 		configPath = flag.String("config", "", "load a JSON run spec (overrides the workload/machine flags)")
+		profile    = flag.Bool("profile", false, "attach the online miss-ratio profiler and print the hit-rate-vs-cache-size curve (per PE with -v)")
+		profSmoke  = flag.Bool("profile-smoke", false, "run the profiler self-check (record, replay, cross-validate against offline stackdist) and exit")
+		profBench  = flag.String("profile-bench", "", "measure profiler overhead and the cache-size sweep it replaces, write JSON to this file, and exit")
 		faults     = flag.String("faults", "", "run fault-injection trials instead of a plain simulation: comma-separated fault classes, or \"all\"")
 		faultN     = flag.Int("fault-trials", 4, "trials per fault class in -faults mode")
 		faultSeed  = flag.Uint64("fault-seed", 1, "campaign seed for -faults mode (workload and fault plans)")
@@ -68,6 +72,18 @@ func main() {
 		}
 	}()
 
+	if *profSmoke {
+		if err := runProfileSmoke(*seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *profBench != "" {
+		if err := runProfileBench(*profBench, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *faults != "" {
 		if err := runFaults(*protoName, *faults, *pes, *faultN, *faultSeed); err != nil {
 			fatal(err)
@@ -113,6 +129,10 @@ func main() {
 	m, err := machine.New(cfg, agents)
 	if err != nil {
 		fatal(err)
+	}
+	var profSet *mrc.Set
+	if *profile {
+		profSet = mrc.Attach(m)
 	}
 
 	var ran uint64
@@ -173,6 +193,9 @@ func main() {
 			fmt.Printf("PE%-3d retired %7d  stalls %7d  miss %.3f  snarfs %d  invalidated %d\n",
 				i, ps.Retired, ps.StallCycles, cs.MissRatio(), cs.Snarfs, cs.InvalidatedBy)
 		}
+	}
+	if profSet != nil {
+		printProfile(profSet, *verbose)
 	}
 }
 

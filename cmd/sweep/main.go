@@ -34,6 +34,12 @@ import (
 	"repro/internal/sweep"
 )
 
+// traceFlags collects repeatable -trace name=path arguments.
+type traceFlags []string
+
+func (t *traceFlags) String() string     { return strings.Join(*t, ",") }
+func (t *traceFlags) Set(v string) error { *t = append(*t, v); return nil }
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiment ids with their declared axes and exit")
@@ -54,7 +60,15 @@ func main() {
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	var traces traceFlags
+	flag.Var(&traces, "trace", "register a trace workload as name=path (repeatable); runnable as experiment \"trace-<name>\"")
 	flag.Parse()
+
+	for _, arg := range traces {
+		if err := experiments.RegisterTraceFile(arg); err != nil {
+			fatal(err)
+		}
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprof, *memprof)
 	if err != nil {

@@ -1,31 +1,69 @@
 // Command tracestat summarizes a reference trace (binary MCT1 or line
-// text): record counts by kind, PE count, distinct addresses, and the
-// class mix — the numbers Table 1-1's columns are made of.
+// text) in one streaming pass: record counts by kind, PE count, distinct
+// addresses, the class mix — the numbers Table 1-1's columns are made
+// of — plus optional per-PE breakdowns, online miss-ratio curves, and
+// format conversion.
 //
 // Usage:
 //
 //	tracestat refs.mct
 //	tracestat -text scenario.txt
+//	tracestat -perpe -misscurve refs.mct
+//	tracestat -convert refs.txt refs.mct     # binary in -> text out
+//	tracestat -text -convert refs.mct s.txt  # text in -> binary out
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/coherence"
-	"repro/internal/stackdist"
+	"repro/internal/mrc"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
+// source is the streaming record reader both formats share.
+type source interface {
+	Read() (trace.Record, error)
+}
+
+// sink converts records to the opposite format as they stream by.
+type sink interface {
+	write(trace.Record) error
+	flush() error
+}
+
+type textSink struct{ bw *bufio.Writer }
+
+func (s *textSink) write(r trace.Record) error {
+	line, err := trace.FormatText(r)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(s.bw, line)
+	return err
+}
+func (s *textSink) flush() error { return s.bw.Flush() }
+
+type binarySink struct{ w *trace.Writer }
+
+func (s *binarySink) write(r trace.Record) error { return s.w.Write(r) }
+func (s *binarySink) flush() error               { return s.w.Flush() }
+
 func main() {
 	text := flag.Bool("text", false, "parse the line format instead of binary")
 	missCurve := flag.Bool("misscurve", false,
-		"run Mattson's stack algorithm over the trace and print the exact fully-associative LRU miss curve")
+		"stream the trace through the online miss-ratio profiler and print the exact fully-associative LRU curve per PE and machine-wide")
+	perPE := flag.Bool("perpe", false, "print a per-PE summary table")
+	convert := flag.String("convert", "",
+		"also convert the trace to PATH in the opposite format (binary in -> text out, text in -> binary out)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracestat [-text] <file>")
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-text] [-perpe] [-misscurve] [-convert out] <file>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -34,17 +72,76 @@ func main() {
 	}
 	defer f.Close()
 
-	var recs []trace.Record
+	var src source
 	if *text {
-		recs, err = trace.ParseText(f)
+		src = trace.NewTextScanner(f)
 	} else {
-		recs, err = trace.NewReader(f).ReadAll()
-	}
-	if err != nil {
-		fatal(err)
+		src = trace.NewReader(f)
 	}
 
-	s := trace.Summarize(recs)
+	var out sink
+	var outFile *os.File
+	if *convert != "" {
+		outFile, err = os.Create(*convert)
+		if err != nil {
+			fatal(err)
+		}
+		if *text {
+			out = &binarySink{w: trace.NewWriter(outFile)}
+		} else {
+			out = &textSink{bw: bufio.NewWriter(outFile)}
+		}
+	}
+
+	// One pass: accumulate the summary, feed the online profilers, and
+	// convert, record by record — no buffering of the whole trace.
+	acc := trace.NewAccumulator()
+	var global *mrc.Profiler
+	profilers := map[int]*mrc.Profiler{}
+	var order []int
+	if *missCurve {
+		global = mrc.New()
+	}
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		acc.Add(rec)
+		if *missCurve {
+			switch rec.Op.Kind {
+			case workload.OpRead, workload.OpWrite, workload.OpTestSet:
+				p := profilers[rec.PE]
+				if p == nil {
+					p = mrc.New()
+					profilers[rec.PE] = p
+					order = append(order, rec.PE)
+				}
+				p.Touch(rec.Op.Addr)
+				global.Touch(rec.Op.Addr)
+			case workload.OpCompute, workload.OpHalt:
+				// No memory reference: nothing for the curve.
+			}
+		}
+		if out != nil {
+			if err := out.write(rec); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if out != nil {
+		if err := out.flush(); err != nil {
+			fatal(err)
+		}
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	s := acc.Stats()
 	fmt.Printf("records    %d\n", s.Records)
 	fmt.Printf("PEs        %d\n", s.PEs)
 	fmt.Printf("addresses  %d distinct\n", s.Addresses)
@@ -61,39 +158,41 @@ func main() {
 			}
 		}
 	}
+	if *convert != "" {
+		from, to := "binary", "text"
+		if *text {
+			from, to = to, from
+		}
+		fmt.Printf("converted  %s -> %s (%s)\n", from, to, *convert)
+	}
+
+	if *perPE {
+		fmt.Printf("\n%5s %9s %9s %9s %9s %9s %6s %10s\n",
+			"PE", "records", "reads", "writes", "test-sets", "computes", "halts", "addresses")
+		for _, ps := range acc.PerPE() {
+			fmt.Printf("%5d %9d %9d %9d %9d %9d %6d %10d\n",
+				ps.PE, ps.Records, ps.Reads, ps.Writes, ps.TestSets, ps.Computes, ps.Halts, ps.Addresses)
+		}
+	}
 
 	if *missCurve {
-		printMissCurves(recs)
+		sizes := mrc.DefaultSizes()
+		for _, pe := range order {
+			printCurve(fmt.Sprintf("PE %d", pe), profilers[pe], sizes)
+		}
+		if len(order) > 1 {
+			printCurve("machine (all PEs)", global, sizes)
+		}
 	}
 }
 
-// printMissCurves profiles each PE's reference stream separately (private
-// caches see private streams) with Mattson's stack algorithm.
-func printMissCurves(recs []trace.Record) {
-	profilers := map[int]*stackdist.Profiler{}
-	order := []int{}
-	for _, r := range recs {
-		switch r.Op.Kind {
-		case workload.OpRead, workload.OpWrite, workload.OpTestSet:
-			p := profilers[r.PE]
-			if p == nil {
-				p = stackdist.New()
-				profilers[r.PE] = p
-				order = append(order, r.PE)
-			}
-			p.Touch(r.Op.Addr)
-		default:
-			// Computes and halts touch no addresses.
-		}
-	}
-	for _, pe := range order {
-		p := profilers[pe]
-		fmt.Printf("\nPE %d: %d refs, footprint %d, %d cold misses\n",
-			pe, p.Refs(), p.Footprint(), p.Colds())
-		fmt.Printf("%8s  %10s  %s\n", "lines", "misses", "miss ratio")
-		for _, pt := range p.Curve(stackdist.PowersOfTwo(6, 12)) {
-			fmt.Printf("%8d  %10d  %.4f\n", pt.Lines, pt.Misses, pt.MissRatio)
-		}
+// printCurve renders one online profiler's miss curve.
+func printCurve(label string, p *mrc.Profiler, sizes []int) {
+	fmt.Printf("\n%s: %d refs, footprint %d, %d cold misses\n",
+		label, p.Refs(), p.Footprint(), p.Colds())
+	fmt.Printf("%8s  %10s  %s\n", "lines", "misses", "miss ratio")
+	for _, pt := range p.Curve(sizes) {
+		fmt.Printf("%8d  %10d  %.4f\n", pt.Lines, pt.Misses, pt.MissRatio)
 	}
 }
 

@@ -222,6 +222,10 @@ type Cache struct {
 	// snoop-satisfied resolutions alike.
 	OnResolve func(ResolveInfo)
 
+	// probe, when non-nil, observes the processor's reference stream (see
+	// Probe). Like OnResolve it is wiring, not run state: Reset keeps it.
+	probe Probe
+
 	// pres, when non-nil, is the machine-wide holder table the bus uses
 	// to dispatch snoops only to frame holders; the cache keeps it exact
 	// at the three points a frame's (valid, addr) binding changes.
@@ -252,7 +256,7 @@ func New(id int, proto coherence.Protocol, cfg Config) (*Cache, error) {
 // Reset returns the cache to its freshly constructed state — every frame
 // invalid, no in-flight operation, no memoized plan, zero counters —
 // without reallocating the line arena. Identity (id, protocol, geometry)
-// and wiring (OnResolve, presence table) survive: they are the machine's
+// and wiring (OnResolve, probe, presence table) survive: they are the machine's
 // shape, re-applied by the machine when it differs. The caller owns the
 // presence table and resets it separately; the cache starts with no
 // valid frames, so it needs no un-recording here.
@@ -290,6 +294,28 @@ func (c *Cache) ID() int { return c.id }
 // frame occupancy to (see bus.Presence). Must be set before any traffic;
 // the cache starts with no valid frames, so the table needs no seeding.
 func (c *Cache) SetPresence(p *bus.Presence) { c.pres = p }
+
+// Probe is the cache's reference-stream observation port (internal/mrc
+// plugs an online reuse-distance profiler into it). It fires once per
+// processor memory reference — reads, writes, and Test-and-Sets — at the
+// moment the CPU phase issues the operation, before hit/miss is known,
+// so the observed stream equals the workload's operation stream. The
+// two-phase Test-and-Set counts once (at its locked read), matching the
+// one reference the instruction makes.
+//
+// The same contract as bus.Injector applies: a nil probe costs exactly
+// one pointer test per reference, and the address is passed by value so
+// a probe call cannot make the hot path allocate.
+type Probe interface {
+	// OnRef observes one processor reference. Called from the CPU phase
+	// (//phase:cpu); implementations must be allocation-free.
+	OnRef(a bus.Addr)
+}
+
+// SetProbe installs (or, with nil, removes) the reference-stream probe.
+// Like OnResolve it is machine wiring and survives Reset; callers attach
+// a fresh probe per measured run.
+func (c *Cache) SetProbe(p Probe) { c.probe = p }
 
 // Protocol returns the cache's coherence scheme.
 func (c *Cache) Protocol() coherence.Protocol { return c.proto }
@@ -385,6 +411,9 @@ func (c *Cache) Access(ev coherence.ProcEvent, a bus.Addr, data bus.Word, class 
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: Access while busy", c.id))
 	}
+	if c.probe != nil {
+		c.probe.OnRef(a)
+	}
 	cls := &c.stats.ByClass[int(class)&3]
 	if ev == coherence.EvRead {
 		c.stats.Reads++
@@ -461,6 +490,9 @@ func (c *Cache) AccessRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word)
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: AccessRMW while busy", c.id))
 	}
+	if c.probe != nil {
+		c.probe.OnRef(a)
+	}
 	c.stats.RMWs++
 	if ln := c.lookup(a); ln != nil && c.proto.LocalRMW(ln.state) {
 		c.stats.LocalRMWs++
@@ -490,7 +522,12 @@ func (c *Cache) AccessRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word)
 func (c *Cache) TryLocalRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Word) {
 	ln := c.lookup(a)
 	if ln == nil || !c.proto.LocalRMW(ln.state) {
+		// Not issued: the caller falls back to AccessLockedRead, which
+		// probes the reference once.
 		return false, 0
+	}
+	if c.probe != nil {
+		c.probe.OnRef(a)
 	}
 	c.stats.RMWs++
 	c.stats.LocalRMWs++
@@ -517,6 +554,9 @@ func (c *Cache) TryLocalRMW(a bus.Addr, setVal bus.Word) (done bool, old bus.Wor
 func (c *Cache) AccessLockedRead(a bus.Addr) {
 	if c.Busy() {
 		panic(fmt.Sprintf("cache %d: AccessLockedRead while busy", c.id))
+	}
+	if c.probe != nil {
+		c.probe.OnRef(a)
 	}
 	c.stats.RMWs++
 	c.setPend(pending{ev: coherence.EvRead, addr: a, lockRead: true, bypass: true})

@@ -199,6 +199,10 @@ func New(opts Options) (*Router, error) {
 	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", r.handleByID)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", r.handleByID)
+	// Profile docs shard by the same content-hash id as the submission
+	// that built them, so the read lands on the worker holding the doc;
+	// byte-identical from any holder, hence hedgeable like status reads.
+	mux.HandleFunc("GET /v1/profile/{id}", r.handleByID)
 	r.mux = mux
 	return r, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/machine"
+	"repro/internal/mrc"
 	"repro/internal/workload"
 )
 
@@ -28,6 +29,13 @@ type Params struct {
 	// an axis and never participates in cache keys. Experiments reach it
 	// through Params.Machine.
 	Arena *batch.Arena
+	// Profile, when non-nil, collects online miss-ratio curves: every
+	// machine Params.Machine constructs gets a fresh mrc profiler set
+	// attached (per PE plus machine-wide) under its shape name. Like
+	// Arena it is instrumentation, not an axis, and never participates
+	// in cache keys — the tables an experiment returns are identical
+	// with and without it.
+	Profile *mrc.Collector
 }
 
 // Machine builds (or, with an arena attached, recycles) a machine for
@@ -38,10 +46,16 @@ type Params struct {
 // re-seeded in place and others rebuilt on the recycled machine (see
 // batch.Arena.Machine).
 func (p Params) Machine(shape string, cfg machine.Config, agents func() []workload.Agent) (*machine.Machine, error) {
-	if p.Arena != nil {
-		return p.Arena.Machine(shape, cfg, p.Seed, agents)
+	m, err := func() (*machine.Machine, error) {
+		if p.Arena != nil {
+			return p.Arena.Machine(shape, cfg, p.Seed, agents)
+		}
+		return machine.New(cfg, agents())
+	}()
+	if err == nil && p.Profile != nil {
+		p.Profile.Attach(shape, p.Seed, m)
 	}
-	return machine.New(cfg, agents())
+	return m, err
 }
 
 func (p Params) withDefaults() Params {
@@ -89,6 +103,13 @@ type Experiment struct {
 	// implementation changes results, so memoized sweep artifacts are
 	// invalidated instead of silently served stale.
 	Version int
+	// Salt distinguishes same-ID experiments whose results depend on
+	// content registered at runtime rather than on code — a trace-driven
+	// experiment salts with the content hash of its trace bytes, so two
+	// deployments registering different traces under the same name can
+	// never alias in the sweep/serve cache. Empty for code-defined
+	// experiments.
+	Salt string
 	// Chart, when non-nil, selects the columns worth bar-charting.
 	Chart *ChartSpec
 	// Run executes the experiment.

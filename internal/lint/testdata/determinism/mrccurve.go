@@ -1,0 +1,56 @@
+package determinism
+
+import "sort"
+
+// curvePoint mirrors the miss-ratio-curve serialization shape the
+// profiler (internal/mrc) emits: one point per evaluated cache size.
+// Curve docs are byte-compared across runs (online vs offline
+// cross-validation, warm-store verbatim serving), so emission order is
+// part of the contract — a map walk anywhere on the serialization path
+// breaks every downstream byte comparison nondeterministically.
+type curvePoint struct {
+	lines  int
+	misses uint64
+}
+
+// CurveFromHistogramMap ranges the size->misses histogram straight out
+// of the map: the same profiler state serializes to differently ordered
+// points run to run.
+func CurveFromHistogramMap(misses map[int]uint64) []curvePoint {
+	var points []curvePoint
+	for lines, m := range misses { // want: append without sort
+		points = append(points, curvePoint{lines: lines, misses: m})
+	}
+	return points
+}
+
+// CurveFromBuckets is the blessed idiom internal/mrc uses: the histogram
+// lives in a fixed bucket array and the curve is emitted by walking it
+// in index order — array-ordered, never a map walk, so rendered bytes
+// are deterministic. This must stay silent.
+func CurveFromBuckets(counts []uint64) []curvePoint {
+	points := make([]curvePoint, 0, len(counts))
+	for b, m := range counts {
+		if m == 0 {
+			continue
+		}
+		points = append(points, curvePoint{lines: 1 << b, misses: m})
+	}
+	return points
+}
+
+// CurveFromHistogramSorted is the acceptable fallback when the
+// histogram genuinely is a map (the sparse-footprint path): collect the
+// keys, sort, then emit. This must stay silent.
+func CurveFromHistogramSorted(misses map[int]uint64) []curvePoint {
+	sizes := make([]int, 0, len(misses))
+	for lines := range misses {
+		sizes = append(sizes, lines)
+	}
+	sort.Ints(sizes)
+	points := make([]curvePoint, 0, len(sizes))
+	for _, lines := range sizes {
+		points = append(points, curvePoint{lines: lines, misses: misses[lines]})
+	}
+	return points
+}

@@ -1,0 +1,305 @@
+package mrc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/coherence"
+	"repro/internal/machine"
+	"repro/internal/stackdist"
+	"repro/internal/workload"
+)
+
+// sizes is the exactness grid: every power of two the acceptance bound
+// cares about, from one line past the largest simulated geometry.
+var testSizes = stackdist.PowersOfTwo(0, 13)
+
+// checkExact cross-validates an online profiler against the offline
+// stack algorithm over the same stream.
+func checkExact(t *testing.T, label string, on *Profiler, off *stackdist.Profiler) {
+	t.Helper()
+	if on.Refs() != off.Refs() || on.Colds() != off.Colds() || on.Footprint() != off.Footprint() {
+		t.Fatalf("%s: refs/colds/footprint = %d/%d/%d online vs %d/%d/%d offline",
+			label, on.Refs(), on.Colds(), on.Footprint(), off.Refs(), off.Colds(), off.Footprint())
+	}
+	onCurve := on.Curve(testSizes)
+	offCurve := off.Curve(testSizes)
+	if !reflect.DeepEqual(onCurve, offCurve) {
+		t.Fatalf("%s: curves differ\nonline:  %+v\noffline: %+v", label, onCurve, offCurve)
+	}
+	// Spot-check a size beyond the grid and size 0 (no cache).
+	for _, s := range []int{0, 1 << 20} {
+		if on.Misses(s) != off.Misses(s) {
+			t.Fatalf("%s: Misses(%d) = %d online vs %d offline", label, s, on.Misses(s), off.Misses(s))
+		}
+	}
+}
+
+// xorshift is a tiny deterministic generator for the synthetic streams.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	*x ^= *x << 13
+	*x ^= *x >> 7
+	*x ^= *x << 17
+	return uint64(*x)
+}
+
+// TestProfilerMatchesStackdistStreams drives adversarial address
+// patterns through both profilers: uniform random over footprints that
+// straddle the bucket boundaries, cyclic scans (the LRU worst case,
+// every reference at distance footprint-1), reverse scans (every
+// reference at distance 0... footprint-1 mixed), strides, and a
+// sparse-directory pattern above the dense window.
+func TestProfilerMatchesStackdistStreams(t *testing.T) {
+	type gen struct {
+		name string
+		next func(i int, rng *xorshift) bus.Addr
+		n    int
+	}
+	gens := []gen{
+		{"uniform-small", func(i int, rng *xorshift) bus.Addr { return bus.Addr(rng.next() % 7) }, 4000},
+		{"uniform-1k", func(i int, rng *xorshift) bus.Addr { return bus.Addr(rng.next() % 1000) }, 20000},
+		{"uniform-9k", func(i int, rng *xorshift) bus.Addr { return bus.Addr(rng.next() % 9001) }, 40000},
+		{"cyclic-scan", func(i int, rng *xorshift) bus.Addr { return bus.Addr(i % 600) }, 12000},
+		{"sawtooth", func(i int, rng *xorshift) bus.Addr {
+			p := i % 1024
+			if (i/1024)%2 == 1 {
+				p = 1023 - p
+			}
+			return bus.Addr(p)
+		}, 16000},
+		{"stride-17", func(i int, rng *xorshift) bus.Addr { return bus.Addr((i * 17) % 5000) }, 20000},
+		{"zipfish", func(i int, rng *xorshift) bus.Addr {
+			// Skewed: half the references hit 8 hot addresses.
+			if rng.next()%2 == 0 {
+				return bus.Addr(rng.next() % 8)
+			}
+			return bus.Addr(8 + rng.next()%4000)
+		}, 30000},
+		{"sparse-window", func(i int, rng *xorshift) bus.Addr {
+			// Above denseLimit: exercises the map fallback.
+			return bus.Addr(denseLimit) + bus.Addr(rng.next()%300)
+		}, 6000},
+		{"mixed-windows", func(i int, rng *xorshift) bus.Addr {
+			if i%3 == 0 {
+				return bus.Addr(denseLimit) + bus.Addr(rng.next()%100)
+			}
+			return bus.Addr(rng.next() % (3 * pageSize))
+		}, 15000},
+	}
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			on := New()
+			off := stackdist.New()
+			rng := xorshift(0x9e3779b97f4a7c15)
+			for i := 0; i < g.n; i++ {
+				a := g.next(i, &rng)
+				on.Touch(a)
+				off.Touch(a)
+			}
+			checkExact(t, g.name, on, off)
+		})
+	}
+}
+
+// teeProbe feeds the online profilers and records the raw streams for
+// the offline replay.
+type teeProbe struct {
+	pe, global *Profiler
+	rec        *[]bus.Addr
+	all        *[]bus.Addr
+}
+
+func (p *teeProbe) OnRef(a bus.Addr) {
+	p.pe.Touch(a)
+	p.global.Touch(a)
+	*p.rec = append(*p.rec, a)
+	*p.all = append(*p.all, a)
+}
+
+// TestOnlineMatchesOffline is the tentpole cross-validation: for every
+// protocol and several seeds, one live profiled run must reproduce the
+// offline stackdist curve exactly — per PE and machine-wide — and the
+// plain Attach path must match the instrumented run bit for bit.
+func TestOnlineMatchesOffline(t *testing.T) {
+	const pes = 4
+	const refsPerPE = 1500
+	layout := workload.DefaultLayout()
+	prof := workload.PDEProfile()
+	build := func(k coherence.Kind, seed uint64) *machine.Machine {
+		agents := make([]workload.Agent, pes)
+		for i := range agents {
+			agents[i] = workload.MustApp(prof, layout, i, seed, refsPerPE)
+		}
+		m, err := machine.New(machine.Config{Protocol: coherence.New(k), CacheLines: 64}, agents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	run := func(m *machine.Machine) {
+		t.Helper()
+		if _, err := m.Run(uint64(refsPerPE) * 200); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Done() {
+			t.Fatal("machine did not drain")
+		}
+	}
+	for _, k := range coherence.Kinds() {
+		for _, seed := range []uint64{1, 2, 3} {
+			k, seed := k, seed
+			t.Run(fmt.Sprintf("%s/seed%d", k, seed), func(t *testing.T) {
+				// Instrumented run: online profilers plus raw stream capture.
+				m := build(k, seed)
+				perPE := make([]*Profiler, pes)
+				recs := make([][]bus.Addr, pes)
+				global := New()
+				var all []bus.Addr
+				for i := 0; i < pes; i++ {
+					perPE[i] = New()
+					m.Cache(i).SetProbe(&teeProbe{pe: perPE[i], global: global, rec: &recs[i], all: &all})
+				}
+				run(m)
+
+				// Offline replay of the captured streams.
+				offAll := stackdist.New()
+				for _, a := range all {
+					offAll.Touch(a)
+				}
+				checkExact(t, "machine", global, offAll)
+				for i := 0; i < pes; i++ {
+					off := stackdist.New()
+					for _, a := range recs[i] {
+						off.Touch(a)
+					}
+					checkExact(t, fmt.Sprintf("pe%d", i), perPE[i], off)
+				}
+
+				// The production Attach path on a fresh identical machine
+				// must yield the same curves (and identical metrics: the
+				// probe must not perturb the simulation).
+				m2 := build(k, seed)
+				set := Attach(m2)
+				run(m2)
+				if !reflect.DeepEqual(set.Global.Curve(testSizes), global.Curve(testSizes)) {
+					t.Fatal("Attach path curve differs from instrumented run")
+				}
+				for i := 0; i < pes; i++ {
+					if !reflect.DeepEqual(set.PerPE[i].Curve(testSizes), perPE[i].Curve(testSizes)) {
+						t.Fatalf("Attach path pe%d curve differs", i)
+					}
+				}
+				m3 := build(k, seed)
+				run(m3)
+				if got, want := m2.Metrics(), m3.Metrics(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("profiling perturbed the run:\nprofiled:   %+v\nunprofiled: %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestDocsShape pins the serialization order: machine scope first, then
+// pe0..peN, points ascending — the determinism the store byte-compare
+// relies on.
+func TestDocsShape(t *testing.T) {
+	agents := []workload.Agent{
+		workload.NewRandom(0, 128, 400, 0.3, 0, 7),
+		workload.NewRandom(4096, 128, 400, 0.3, 0, 8),
+	}
+	m, err := machine.New(machine.Config{Protocol: coherence.RB{}, CacheLines: 32}, agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Attach(m)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	docs := set.Docs(DefaultSizes())
+	if len(docs) != 3 {
+		t.Fatalf("got %d docs, want 3", len(docs))
+	}
+	for i, want := range []string{"machine", "pe0", "pe1"} {
+		if docs[i].Scope != want {
+			t.Fatalf("docs[%d].Scope = %q, want %q", i, docs[i].Scope, want)
+		}
+		pts := docs[i].Points
+		for j := 1; j < len(pts); j++ {
+			if pts[j-1].Lines >= pts[j].Lines {
+				t.Fatalf("docs[%d] points not ascending: %+v", i, pts)
+			}
+		}
+		if docs[i].Refs == 0 {
+			t.Fatalf("docs[%d] observed no references", i)
+		}
+	}
+	if docs[0].Refs != docs[1].Refs+docs[2].Refs {
+		t.Fatalf("machine refs %d != sum of per-PE refs %d+%d", docs[0].Refs, docs[1].Refs, docs[2].Refs)
+	}
+}
+
+// TestProfilerSteadyStateAllocFree pins the tentpole's hot-path budget:
+// once the footprint's nodes and directory pages exist, a profiled
+// cycle loop allocates exactly as much as an unprofiled one — nothing.
+func TestProfilerSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; run without -race")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const pes = 4
+	agents := make([]workload.Agent, pes)
+	for i := range agents {
+		// Bounded footprint (256 words per PE) so the cold path drains
+		// during warmup; effectively endless so the loop never idles.
+		agents[i] = workload.NewRandom(bus.Addr(i)<<12, 256, 1<<30, 0.3, 0.02, uint64(i+1))
+	}
+	m, err := machine.New(machine.Config{Protocol: coherence.RB{}, CacheLines: 64}, agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(m)
+	if err := m.RunFor(20_000); err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 2_000
+	avg := testing.AllocsPerRun(5, func() {
+		if err := m.RunFor(chunk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perCycle := avg / chunk; perCycle != 0 {
+		t.Errorf("profiled steady state allocates: %.6f allocs/cycle (%v allocs per %d cycles)",
+			perCycle, avg, chunk)
+	}
+}
+
+// BenchmarkTouch measures the steady-state hot path: every address
+// already resident, mixed reuse distances from a power-law sweep.
+func BenchmarkTouch(b *testing.B) {
+	p := New()
+	const footprint = 4096
+	for a := 0; a < footprint; a++ {
+		p.Touch(bus.Addr(a))
+	}
+	rng := uint64(12345)
+	addrs := make([]bus.Addr, 8192)
+	for i := range addrs {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		// Power-law-ish reuse: small distances dominate.
+		d := int(rng>>33) % footprint
+		d = d * d / footprint
+		addrs[i] = bus.Addr(d)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Touch(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package mrc
+
+const raceEnabled = true

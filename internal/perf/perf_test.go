@@ -3,6 +3,9 @@ package perf
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"repro/internal/mrc"
 )
 
 // TestScenarioNamesMatchBaseline pins the suite/baseline contract:
@@ -99,4 +102,63 @@ func TestRunReportsThroughput(t *testing.T) {
 func ExampleScenarios() {
 	fmt.Println(len(Scenarios()), "scenarios")
 	// Output: 12 scenarios
+}
+
+// TestProfilerOverhead pins the cost of the online miss-ratio profiler
+// (internal/mrc) against the unprofiled cycle loop. The exact number for
+// a given machine ships in BENCH_profile.json (`make bench-profile`,
+// typically 25-35%: each reference pays two O(log footprint) curve
+// updates while the simulated machine itself costs only a few hundred
+// nanoseconds per reference); this test is the regression guard that the
+// cost stays in that class — a slip past 2x means the hot path grew an
+// allocation or lost its O(log) bound.
+func TestProfilerOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation distorts timing; run without -race")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := ScenarioByName("rb-8pe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warm, run = 20_000, 100_000
+	wall := func(profiled bool) (time.Duration, error) {
+		m, err := Build(s)
+		if err != nil {
+			return 0, err
+		}
+		if profiled {
+			mrc.Attach(m)
+		}
+		if err := m.RunFor(warm); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := m.RunFor(run); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	best := func(profiled bool) time.Duration {
+		bestWall := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			w, err := wall(profiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == 0 || w < bestWall {
+				bestWall = w
+			}
+		}
+		return bestWall
+	}
+	plain := best(false)
+	profiled := best(true)
+	overhead := float64(profiled-plain) / float64(plain)
+	t.Logf("unprofiled %v, profiled %v: %.1f%% overhead", plain, profiled, 100*overhead)
+	if overhead > 1.0 {
+		t.Errorf("profiler overhead %.1f%% exceeds the 100%% regression bound", 100*overhead)
+	}
 }

@@ -27,6 +27,8 @@ type Metrics struct {
 	jobCacheHits   int64         // jobs served from the store
 	jobsFailed     int64         // jobs that panicked or timed out
 	silentFailures int64         // silent divergences reported by fault campaigns
+	profilesBuilt  int64         // miss-ratio-curve docs built and memoized
+	profilesServed int64         // GET /v1/profile answers served from the store
 	latencyCounts  []int64       // job wall-time histogram, latencyBuckets + +Inf
 	latencySumMS   float64
 	latencyTotal   int64
@@ -61,6 +63,32 @@ func (m *Metrics) countStoreServed() {
 	m.mu.Lock()
 	m.storeServed++
 	m.mu.Unlock()
+}
+
+func (m *Metrics) countProfileBuilt() {
+	m.mu.Lock()
+	m.profilesBuilt++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countProfileServed() {
+	m.mu.Lock()
+	m.profilesServed++
+	m.mu.Unlock()
+}
+
+// ProfilesBuilt returns how many curve docs this server has built.
+func (m *Metrics) ProfilesBuilt() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.profilesBuilt
+}
+
+// ProfilesServed returns how many /v1/profile answers were served.
+func (m *Metrics) ProfilesServed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.profilesServed
 }
 
 // observeOutcome folds one completed engine run into the job counters
@@ -147,6 +175,12 @@ func (m *Metrics) Render(inFlight, queued int) string {
 	w("# HELP mimdserved_silent_failures_total Silent divergences reported by fault campaigns.\n")
 	w("# TYPE mimdserved_silent_failures_total counter\n")
 	w("mimdserved_silent_failures_total %d\n", m.silentFailures)
+	w("# HELP mimdserved_profiles_built_total Miss-ratio-curve documents built and memoized.\n")
+	w("# TYPE mimdserved_profiles_built_total counter\n")
+	w("mimdserved_profiles_built_total %d\n", m.profilesBuilt)
+	w("# HELP mimdserved_profiles_served_total /v1/profile answers served from the store.\n")
+	w("# TYPE mimdserved_profiles_served_total counter\n")
+	w("mimdserved_profiles_served_total %d\n", m.profilesServed)
 
 	total := m.jobCacheHits + m.jobsExecuted
 	ratio := 0.0

@@ -112,7 +112,10 @@ type Response struct {
 	SilentViolations []string `json:"silent_violations,omitempty"`
 	// Failures lists failed jobs (first error lines) when Failed > 0.
 	Failures []string `json:"failures,omitempty"`
-	Error    string   `json:"error,omitempty"`
+	// Profile is the path of the request's miss-ratio-curve document
+	// (requests submitted with "profile": true).
+	Profile string `json:"profile,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // JobStatus is the GET /v1/jobs/{id} document.
@@ -207,6 +210,7 @@ func New(opts Options) *Server {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/profile/{id}", s.handleProfile)
 	if opts.Worker || opts.ShardStats {
 		s.tracker = cluster.NewTracker(opts.NumShards)
 		mux.HandleFunc("GET /shardstats", s.handleShardStats)
@@ -382,7 +386,10 @@ func (s *Server) execute(f *flight) (Response, int) {
 	resp := Response{ID: req.id, Kind: req.spec.Kind}
 	start := wallNow()
 
-	fast := s.storeHasAll(req)
+	// A profile request is only store-servable when the curve doc is
+	// memoized too; otherwise it takes the engine path so the profile
+	// pass below runs under an admission slot.
+	fast := s.storeHasAll(req) && (!req.spec.Profile || s.storeHasProfile(req.id))
 	if fast {
 		s.metrics.countStoreServed()
 	} else {
@@ -464,6 +471,18 @@ func (s *Server) execute(f *flight) (Response, int) {
 			}
 			resp.Tables = append(resp.Tables, tb.Render(req.spec.Format))
 		}
+	}
+
+	if req.spec.Profile && len(out.Failed) == 0 {
+		// Build (or find) the request's miss-ratio-curve doc. On the
+		// store fast path this is a pure lookup — storeHasProfile gated
+		// fast above; on the engine path the pass runs under the
+		// admission slot still held here.
+		if perr := s.ensureProfile(req); perr != nil {
+			resp.Error = perr.Error()
+			return resp, http.StatusInternalServerError
+		}
+		resp.Profile = "/v1/profile/" + req.id
 	}
 
 	var walls []time.Duration

@@ -17,7 +17,7 @@ import (
 // requestEpoch versions the request-id derivation. Request ids are pure
 // content hashes — two clients posting the same normalized spec compute
 // the same id, which is exactly what singleflight coalescing keys on.
-const requestEpoch = "mimdserve-req-v1"
+const requestEpoch = "mimdserve-req-v2"
 
 // Spec is the JSON request body every submission endpoint accepts.
 //
@@ -49,6 +49,12 @@ type Spec struct {
 	JobTimeoutMS int `json:"job_timeout_ms,omitempty"`
 	// Fault carries the campaign shape for kind "fault".
 	Fault *fault.CampaignSpec `json:"fault,omitempty"`
+	// Profile asks the server to also build online miss-ratio curves
+	// (internal/mrc) for every machine the request's experiments
+	// construct, memoize them next to the job results, and answer
+	// GET /v1/profile/{id} what-if queries from them. Experiment and
+	// sweep kinds only.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // request is a fully validated, normalized submission: the expanded job
@@ -125,6 +131,9 @@ func normalize(spec Spec, opts Options) (*request, error) {
 		if spec.Fault == nil {
 			return nil, fmt.Errorf(`kind "fault" needs a "fault" campaign spec`)
 		}
+		if spec.Profile {
+			return nil, fmt.Errorf(`"profile" is not available for fault campaigns`)
+		}
 		fs := *spec.Fault
 		if len(fs.Seeds) == 0 {
 			fs.Seeds = r.spec.Seeds
@@ -163,7 +172,7 @@ func requestID(r *request) string {
 	h := sha256.New()
 	io.WriteString(h, requestEpoch)
 	io.WriteString(h, "|"+r.spec.Kind+"|"+r.spec.Format+"|")
-	fmt.Fprintf(h, "timeout=%d|", r.timeout)
+	fmt.Fprintf(h, "timeout=%d|profile=%t|", r.timeout, r.spec.Profile)
 	for _, j := range r.jobs {
 		io.WriteString(h, j.Key+"|")
 	}

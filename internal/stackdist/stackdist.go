@@ -101,9 +101,9 @@ func (p *Profiler) MissRatio(lines int) float64 {
 
 // CurvePoint is one (size, miss ratio) sample.
 type CurvePoint struct {
-	Lines     int
-	Misses    uint64
-	MissRatio float64
+	Lines     int     `json:"lines"`
+	Misses    uint64  `json:"misses"`
+	MissRatio float64 `json:"miss_ratio"`
 }
 
 // Curve evaluates the miss curve at the given sizes (sorted ascending in

@@ -17,7 +17,7 @@ import (
 
 // keyEpoch versions the cache-key derivation itself. Bumping it orphans
 // every previously memoized object (they simply stop being referenced).
-const keyEpoch = "sweep-job-v1"
+const keyEpoch = "sweep-job-v2"
 
 // JobSpec is the full configuration of one job: the experiment (which
 // encapsulates protocol, machine configuration and workload) plus the
@@ -29,13 +29,19 @@ type JobSpec struct {
 	Version int    `json:"version"`
 	Seed    uint64 `json:"seed"`
 	Scale   int    `json:"scale"`
+	// Salt carries the experiment's content salt (experiments.Experiment.Salt):
+	// for trace-driven experiments, the hash of the registered trace bytes.
+	// It folds runtime-registered content into the cache key so a memoized
+	// artifact can never be served for a same-named experiment with
+	// different trace data.
+	Salt string `json:"salt,omitempty"`
 }
 
 // Key returns the job's content-hash cache key: a truncated SHA-256 over
 // the canonical rendering of the configuration.
 func (s JobSpec) Key() string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%d",
-		keyEpoch, s.Experiment, s.Version, s.Seed, s.Scale)))
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%d|%s",
+		keyEpoch, s.Experiment, s.Version, s.Seed, s.Scale, s.Salt)))
 	return hex.EncodeToString(h[:16])
 }
 
@@ -56,6 +62,8 @@ type Spec struct {
 	Seeds []uint64
 	// Scale is the workload multiplier; 0 means 1.
 	Scale int
+	// Salt mirrors the experiment's content salt; SpecFor fills it.
+	Salt string
 }
 
 // Job is one schedulable unit: a JobSpec plus its canonical position.
@@ -99,7 +107,7 @@ func Expand(specs []Spec) []Job {
 				continue
 			}
 			seen[seed] = true
-			js := JobSpec{Experiment: sp.Experiment, Version: sp.Version, Seed: seed, Scale: scale}
+			js := JobSpec{Experiment: sp.Experiment, Version: sp.Version, Seed: seed, Scale: scale, Salt: sp.Salt}
 			jobs = append(jobs, Job{
 				Index:     len(jobs),
 				SpecIndex: si,
@@ -124,6 +132,7 @@ func SpecFor(id string, seeds []uint64, scale int) (Spec, error) {
 		Axes:       e.Axes,
 		Seeds:      seeds,
 		Scale:      scale,
+		Salt:       e.Salt,
 	}, nil
 }
 
@@ -139,6 +148,7 @@ func AllSpecs(seeds []uint64, scale int) []Spec {
 			Axes:       e.Axes,
 			Seeds:      seeds,
 			Scale:      scale,
+			Salt:       e.Salt,
 		})
 	}
 	return specs

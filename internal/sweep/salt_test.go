@@ -1,0 +1,48 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestSaltChangesKey pins the cache-safety property behind trace
+// workloads: same experiment coordinates, different registered content,
+// different cache key.
+func TestSaltChangesKey(t *testing.T) {
+	a := JobSpec{Experiment: "trace-x", Version: 1, Seed: 1, Scale: 1}
+	b := a
+	b.Salt = "deadbeefdeadbeef"
+	if a.Key() == b.Key() {
+		t.Fatal("salt does not reach the cache key")
+	}
+}
+
+// TestSaltFlowsFromRegistry checks the full path: a registered trace's
+// content salt lands on the Spec, the expanded Job, and the key.
+func TestSaltFlowsFromRegistry(t *testing.T) {
+	raw := []byte("0 read 5 shared\n0 halt\n")
+	if err := experiments.RegisterTrace("sweep-salt-probe", raw); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpecFor("trace-sweep-salt-probe", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := experiments.TraceSalt(raw)
+	if sp.Salt != want {
+		t.Fatalf("Spec.Salt = %q, want %q", sp.Salt, want)
+	}
+	jobs := Expand([]Spec{sp})
+	if len(jobs) != 1 {
+		t.Fatalf("expanded %d jobs, want 1 (no declared axes)", len(jobs))
+	}
+	if jobs[0].Spec.Salt != want {
+		t.Fatalf("JobSpec.Salt = %q, want %q", jobs[0].Spec.Salt, want)
+	}
+	unsalted := jobs[0].Spec
+	unsalted.Salt = ""
+	if unsalted.Key() == jobs[0].Key {
+		t.Fatal("salted and unsalted keys collide")
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// fuzzSeedBytes builds a valid binary trace for the fuzz corpus.
+func fuzzSeedBytes(t *testing.F, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the binary decoder; every
+// stream that decodes must survive binary -> text -> binary with the
+// records intact and the re-encoded bytes byte-identical across a second
+// round trip (the canonical-form fixed point). Undecodable inputs must
+// fail with an error, never panic or loop.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MCT1"))
+	f.Add([]byte("not a trace"))
+	f.Add(fuzzSeedBytes(f, sampleRecords()))
+	f.Add(fuzzSeedBytes(f, []Record{
+		{PE: 0, Op: workload.Read(0, coherence.ClassCode)},
+		{PE: 7, Op: workload.Write(1<<31, 5, coherence.ClassUnknown)},
+		{PE: 7, Op: workload.Compute(12)},
+		{PE: 0, Op: workload.Halt()},
+	}))
+	f.Add(append(fuzzSeedBytes(f, sampleRecords()), 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := NewReader(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		// The text format is narrower than what a lenient binary decode
+		// can produce: 32-bit numerics, no class annotation on ts (always
+		// shared) or compute/halt (always unknown), no 64-bit-wrapped PE.
+		// Streams outside that window round-trip through binary only.
+		for _, r := range recs {
+			if r.PE < 0 || r.Op.Cycles < 0 || uint64(r.Op.Cycles) > 1<<32-1 {
+				return
+			}
+			switch r.Op.Kind {
+			case workload.OpTestSet:
+				if r.Op.Class != coherence.ClassShared {
+					return
+				}
+			case workload.OpCompute, workload.OpHalt:
+				if r.Op.Class != coherence.ClassUnknown {
+					return
+				}
+			}
+		}
+
+		// binary -> text -> records.
+		var text bytes.Buffer
+		if err := WriteText(&text, recs); err != nil {
+			t.Fatalf("WriteText on decoded records: %v", err)
+		}
+		recs2, err := ParseText(bytes.NewReader(text.Bytes()))
+		if err != nil {
+			t.Fatalf("ParseText of own output: %v\n%s", err, text.Bytes())
+		}
+		if !recordsEqual(recs, recs2) {
+			t.Fatalf("text round trip changed records:\n%v\n%v", recs, recs2)
+		}
+
+		// records -> binary -> records -> binary: the second encoding is
+		// the canonical fixed point (arbitrary input bytes may use
+		// non-minimal varints; the writer's output may not).
+		bin2 := fuzzEncode(t, recs2)
+		recs3, err := NewReader(bytes.NewReader(bin2)).ReadAll()
+		if err != nil {
+			t.Fatalf("re-decode of own encoding: %v", err)
+		}
+		if !recordsEqual(recs2, recs3) {
+			t.Fatalf("binary round trip changed records:\n%v\n%v", recs2, recs3)
+		}
+		bin3 := fuzzEncode(t, recs3)
+		if !bytes.Equal(bin2, bin3) {
+			t.Fatalf("encoding is not a fixed point:\n% x\n% x", bin2, bin3)
+		}
+	})
+}
+
+func fuzzEncode(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTextScannerStreams pins the streaming text reader against the
+// batch parser and checks its positional errors.
+func TestTextScannerStreams(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	text := "# comment\n\n" + buf.String()
+	want, err := ParseText(bytes.NewReader([]byte(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewTextScanner(bytes.NewReader([]byte(text)))
+	var got []Record
+	for {
+		rec, err := sc.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if !recordsEqual(got, want) {
+		t.Fatalf("scanner and ParseText disagree:\n%v\n%v", got, want)
+	}
+
+	bad := NewTextScanner(bytes.NewReader([]byte("0 read 1\n0 frobnicate 2\n")))
+	if _, err := bad.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Read(); err == nil || !bytes.Contains([]byte(err.Error()), []byte("line 2")) {
+		t.Fatalf("bad line err = %v, want line-2 position", err)
+	}
+}

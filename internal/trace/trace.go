@@ -8,10 +8,12 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -109,11 +111,16 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader decodes the binary format.
+// Reader decodes the binary format. Every decode error carries the
+// record ordinal and byte offset where the stream went wrong — a
+// truncated or corrupt MCT1 file names the damage instead of surfacing
+// a bare EOF.
 type Reader struct {
 	r        *bufio.Reader
 	started  bool
 	lastAddr map[int]bus.Addr
+	off      int64 // bytes consumed so far
+	rec      int   // records fully decoded so far
 }
 
 // NewReader creates a binary trace reader.
@@ -121,13 +128,36 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r), lastAddr: make(map[int]bus.Addr)}
 }
 
+// ReadByte implements io.ByteReader over the buffered input while
+// keeping the byte-offset counter exact; the varint decoders consume
+// through it.
+func (r *Reader) ReadByte() (byte, error) {
+	b, err := r.r.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+// corrupt wraps a mid-record decode failure with its position. An EOF
+// inside a record is a truncation (io.ErrUnexpectedEOF), never a clean
+// end.
+func (r *Reader) corrupt(field string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("trace: record %d, byte offset %d: %s: %w", r.rec, r.off, field, err)
+}
+
 // Read decodes the next record; io.EOF ends the stream.
 func (r *Reader) Read() (Record, error) {
 	if !r.started {
 		var m [4]byte
-		if _, err := io.ReadFull(r.r, m[:]); err != nil {
-			if err == io.ErrUnexpectedEOF {
-				return Record{}, ErrBadMagic
+		n, err := io.ReadFull(r.r, m[:])
+		r.off += int64(n)
+		if err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return Record{}, fmt.Errorf("trace: byte offset %d: truncated magic: %w", r.off, ErrBadMagic)
 			}
 			return Record{}, err
 		}
@@ -136,43 +166,50 @@ func (r *Reader) Read() (Record, error) {
 		}
 		r.started = true
 	}
-	pe64, err := binary.ReadUvarint(r.r)
+	pe64, err := binary.ReadUvarint(r)
 	if err != nil {
-		return Record{}, err // io.EOF here is the clean end
+		if err == io.EOF {
+			return Record{}, io.EOF // clean end: the stream stopped on a record boundary
+		}
+		return Record{}, r.corrupt("pe", err)
 	}
-	head, err := binary.ReadUvarint(r.r)
+	head, err := binary.ReadUvarint(r)
 	if err != nil {
-		return Record{}, unexpected(err)
+		return Record{}, r.corrupt("header", err)
 	}
 	rec := Record{PE: int(pe64)}
 	rec.Op.Kind = workload.OpKind(head & 7)
 	rec.Op.Class = coherence.Class(head >> 3 & 3)
+	if head>>5 != 0 {
+		return Record{}, r.corrupt("header", fmt.Errorf("reserved bits set (0x%x)", head))
+	}
 	switch rec.Op.Kind {
 	case workload.OpRead, workload.OpWrite, workload.OpTestSet:
-		delta, err := binary.ReadVarint(r.r)
+		delta, err := binary.ReadVarint(r)
 		if err != nil {
-			return Record{}, unexpected(err)
+			return Record{}, r.corrupt("address delta", err)
 		}
 		addr := bus.Addr(int64(r.lastAddr[rec.PE]) + delta)
 		r.lastAddr[rec.PE] = addr
 		rec.Op.Addr = addr
 		if rec.Op.Kind != workload.OpRead {
-			data, err := binary.ReadUvarint(r.r)
+			data, err := binary.ReadUvarint(r)
 			if err != nil {
-				return Record{}, unexpected(err)
+				return Record{}, r.corrupt("data word", err)
 			}
 			rec.Op.Data = bus.Word(data)
 		}
 	case workload.OpCompute:
-		cycles, err := binary.ReadUvarint(r.r)
+		cycles, err := binary.ReadUvarint(r)
 		if err != nil {
-			return Record{}, unexpected(err)
+			return Record{}, r.corrupt("cycle count", err)
 		}
 		rec.Op.Cycles = int(cycles)
 	case workload.OpHalt:
 	default:
-		return Record{}, fmt.Errorf("trace: undecodable op kind %d", rec.Op.Kind)
+		return Record{}, r.corrupt("header", fmt.Errorf("undecodable op kind %d", rec.Op.Kind))
 	}
+	r.rec++
 	return rec, nil
 }
 
@@ -191,11 +228,14 @@ func (r *Reader) ReadAll() ([]Record, error) {
 	}
 }
 
-func unexpected(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
+// Decode parses a whole trace from raw bytes, auto-detecting the
+// format: an MCT1 magic prefix selects the binary decoder, anything
+// else the text parser.
+func Decode(data []byte) ([]Record, error) {
+	if len(data) >= len(magic) && [4]byte(data[:4]) == magic {
+		return NewReader(bytes.NewReader(data)).ReadAll()
 	}
-	return err
+	return ParseText(bytes.NewReader(data))
 }
 
 // WriteText encodes records in the line format:
@@ -210,20 +250,9 @@ func unexpected(err error) error {
 func WriteText(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range recs {
-		var line string
-		switch r.Op.Kind {
-		case workload.OpRead:
-			line = fmt.Sprintf("%d read %d %s", r.PE, r.Op.Addr, r.Op.Class)
-		case workload.OpWrite:
-			line = fmt.Sprintf("%d write %d %d %s", r.PE, r.Op.Addr, r.Op.Data, r.Op.Class)
-		case workload.OpTestSet:
-			line = fmt.Sprintf("%d ts %d %d", r.PE, r.Op.Addr, r.Op.Data)
-		case workload.OpCompute:
-			line = fmt.Sprintf("%d compute %d", r.PE, r.Op.Cycles)
-		case workload.OpHalt:
-			line = fmt.Sprintf("%d halt", r.PE)
-		default:
-			return fmt.Errorf("trace: unencodable op kind %v", r.Op.Kind)
+		line, err := FormatText(r)
+		if err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintln(bw, line); err != nil {
 			return err
@@ -232,95 +261,143 @@ func WriteText(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// ParseText decodes the line format.
-func ParseText(rd io.Reader) ([]Record, error) {
-	var out []Record
-	sc := bufio.NewScanner(rd)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+// FormatText renders one record as a text-format line (no newline).
+func FormatText(r Record) (string, error) {
+	switch r.Op.Kind {
+	case workload.OpRead:
+		return fmt.Sprintf("%d read %d %s", r.PE, r.Op.Addr, r.Op.Class), nil
+	case workload.OpWrite:
+		return fmt.Sprintf("%d write %d %d %s", r.PE, r.Op.Addr, r.Op.Data, r.Op.Class), nil
+	case workload.OpTestSet:
+		return fmt.Sprintf("%d ts %d %d", r.PE, r.Op.Addr, r.Op.Data), nil
+	case workload.OpCompute:
+		return fmt.Sprintf("%d compute %d", r.PE, r.Op.Cycles), nil
+	case workload.OpHalt:
+		return fmt.Sprintf("%d halt", r.PE), nil
+	}
+	return "", fmt.Errorf("trace: unencodable op kind %v", r.Op.Kind)
+}
+
+// TextScanner decodes the line format one record at a time, so tools
+// can stream arbitrarily large text traces without buffering them.
+type TextScanner struct {
+	sc     *bufio.Scanner
+	lineNo int
+}
+
+// NewTextScanner creates a streaming text-format reader.
+func NewTextScanner(rd io.Reader) *TextScanner {
+	return &TextScanner{sc: bufio.NewScanner(rd)}
+}
+
+// Read decodes the next record; io.EOF ends the stream. Errors carry
+// the 1-based line number.
+func (s *TextScanner) Read() (Record, error) {
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("trace: line %d: too few fields", lineNo)
+		return parseTextLine(s.lineNo, line)
+	}
+	if err := s.sc.Err(); err != nil {
+		return Record{}, fmt.Errorf("trace: line %d: %w", s.lineNo, err)
+	}
+	return Record{}, io.EOF
+}
+
+// parseTextLine decodes one non-comment line.
+func parseTextLine(lineNo int, line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Record{}, fmt.Errorf("trace: line %d: too few fields", lineNo)
+	}
+	pe, err := strconv.Atoi(fields[0])
+	if err != nil || pe < 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad PE %q", lineNo, fields[0])
+	}
+	rec := Record{PE: pe}
+	arg := func(i int) (uint64, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("trace: line %d: missing argument", lineNo)
 		}
-		pe, err := strconv.Atoi(fields[0])
-		if err != nil || pe < 0 {
-			return nil, fmt.Errorf("trace: line %d: bad PE %q", lineNo, fields[0])
+		v, err := strconv.ParseUint(fields[i], 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("trace: line %d: bad number %q", lineNo, fields[i])
 		}
-		rec := Record{PE: pe}
-		arg := func(i int) (uint64, error) {
-			if i >= len(fields) {
-				return 0, fmt.Errorf("trace: line %d: missing argument", lineNo)
-			}
-			v, err := strconv.ParseUint(fields[i], 10, 32)
-			if err != nil {
-				return 0, fmt.Errorf("trace: line %d: bad number %q", lineNo, fields[i])
-			}
-			return v, nil
+		return v, nil
+	}
+	classAt := func(i int) coherence.Class {
+		if i >= len(fields) {
+			return coherence.ClassShared
 		}
-		classAt := func(i int) coherence.Class {
-			if i >= len(fields) {
-				return coherence.ClassShared
-			}
-			switch fields[i] {
-			case "code":
-				return coherence.ClassCode
-			case "local":
-				return coherence.ClassLocal
-			case "shared":
-				return coherence.ClassShared
-			default:
-				return coherence.ClassUnknown
-			}
-		}
-		switch fields[1] {
-		case "read":
-			a, err := arg(2)
-			if err != nil {
-				return nil, err
-			}
-			rec.Op = workload.Read(bus.Addr(a), classAt(3))
-		case "write":
-			a, err := arg(2)
-			if err != nil {
-				return nil, err
-			}
-			v, err := arg(3)
-			if err != nil {
-				return nil, err
-			}
-			rec.Op = workload.Write(bus.Addr(a), bus.Word(v), classAt(4))
-		case "ts":
-			a, err := arg(2)
-			if err != nil {
-				return nil, err
-			}
-			v, err := arg(3)
-			if err != nil {
-				return nil, err
-			}
-			rec.Op = workload.TestSet(bus.Addr(a), bus.Word(v))
-		case "compute":
-			n, err := arg(2)
-			if err != nil {
-				return nil, err
-			}
-			rec.Op = workload.Compute(int(n))
-		case "halt":
-			rec.Op = workload.Halt()
+		switch fields[i] {
+		case "code":
+			return coherence.ClassCode
+		case "local":
+			return coherence.ClassLocal
+		case "shared":
+			return coherence.ClassShared
 		default:
-			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[1])
+			return coherence.ClassUnknown
+		}
+	}
+	switch fields[1] {
+	case "read":
+		a, err := arg(2)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Op = workload.Read(bus.Addr(a), classAt(3))
+	case "write":
+		a, err := arg(2)
+		if err != nil {
+			return Record{}, err
+		}
+		v, err := arg(3)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Op = workload.Write(bus.Addr(a), bus.Word(v), classAt(4))
+	case "ts":
+		a, err := arg(2)
+		if err != nil {
+			return Record{}, err
+		}
+		v, err := arg(3)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Op = workload.TestSet(bus.Addr(a), bus.Word(v))
+	case "compute":
+		n, err := arg(2)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Op = workload.Compute(int(n))
+	case "halt":
+		rec.Op = workload.Halt()
+	default:
+		return Record{}, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[1])
+	}
+	return rec, nil
+}
+
+// ParseText decodes the line format in full.
+func ParseText(rd io.Reader) ([]Record, error) {
+	var out []Record
+	sc := NewTextScanner(rd)
+	for {
+		rec, err := sc.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // Split demultiplexes a trace into one replay agent per PE. PEs appearing
@@ -351,36 +428,102 @@ type Stats struct {
 	ByClass   map[coherence.Class]int
 }
 
+// PEStats is one PE's share of a trace (see Accumulator.PerPE).
+type PEStats struct {
+	PE        int
+	Records   int
+	Reads     int
+	Writes    int
+	TestSets  int
+	Computes  int
+	Halts     int
+	Addresses int // distinct addresses this PE referenced
+}
+
+// Accumulator folds records into Stats one at a time, so tools can
+// summarize arbitrarily large traces in a single streaming pass.
+type Accumulator struct {
+	s     Stats
+	addrs map[bus.Addr]bool
+	perPE map[int]*PEStats
+	// peAddrs tracks per-PE distinct addresses.
+	peAddrs map[int]map[bus.Addr]bool
+}
+
+// NewAccumulator creates an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		s:       Stats{ByClass: make(map[coherence.Class]int)},
+		addrs:   map[bus.Addr]bool{},
+		perPE:   map[int]*PEStats{},
+		peAddrs: map[int]map[bus.Addr]bool{},
+	}
+}
+
+// Add folds one record in.
+func (a *Accumulator) Add(r Record) {
+	a.s.Records++
+	pe := a.perPE[r.PE]
+	if pe == nil {
+		pe = &PEStats{PE: r.PE}
+		a.perPE[r.PE] = pe
+		a.peAddrs[r.PE] = map[bus.Addr]bool{}
+	}
+	pe.Records++
+	touch := func() {
+		a.addrs[r.Op.Addr] = true
+		a.peAddrs[r.PE][r.Op.Addr] = true
+		a.s.ByClass[r.Op.Class]++
+	}
+	switch r.Op.Kind {
+	case workload.OpRead:
+		a.s.Reads++
+		pe.Reads++
+		touch()
+	case workload.OpWrite:
+		a.s.Writes++
+		pe.Writes++
+		touch()
+	case workload.OpTestSet:
+		a.s.TestSets++
+		pe.TestSets++
+		touch()
+	case workload.OpCompute:
+		a.s.Computes++
+		pe.Computes++
+	case workload.OpHalt:
+		a.s.Halts++
+		pe.Halts++
+	}
+}
+
+// Stats returns the machine-wide summary so far.
+func (a *Accumulator) Stats() Stats {
+	s := a.s
+	s.PEs = len(a.perPE)
+	s.Addresses = len(a.addrs)
+	return s
+}
+
+// PerPE returns the per-PE summaries in ascending PE order.
+func (a *Accumulator) PerPE() []PEStats {
+	out := make([]PEStats, 0, len(a.perPE))
+	for pe, st := range a.perPE {
+		st := *st
+		st.Addresses = len(a.peAddrs[pe])
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PE < out[j].PE })
+	return out
+}
+
 // Summarize computes Stats over records.
 func Summarize(recs []Record) Stats {
-	s := Stats{ByClass: make(map[coherence.Class]int)}
-	pes := map[int]bool{}
-	addrs := map[bus.Addr]bool{}
+	a := NewAccumulator()
 	for _, r := range recs {
-		s.Records++
-		pes[r.PE] = true
-		switch r.Op.Kind {
-		case workload.OpRead:
-			s.Reads++
-			addrs[r.Op.Addr] = true
-			s.ByClass[r.Op.Class]++
-		case workload.OpWrite:
-			s.Writes++
-			addrs[r.Op.Addr] = true
-			s.ByClass[r.Op.Class]++
-		case workload.OpTestSet:
-			s.TestSets++
-			addrs[r.Op.Addr] = true
-			s.ByClass[r.Op.Class]++
-		case workload.OpCompute:
-			s.Computes++
-		case workload.OpHalt:
-			s.Halts++
-		}
+		a.Add(r)
 	}
-	s.PEs = len(pes)
-	s.Addresses = len(addrs)
-	return s
+	return a.Stats()
 }
 
 // Capture runs an agent standalone for at most n operations, recording

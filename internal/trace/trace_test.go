@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -68,7 +69,7 @@ func TestBadMagicRejected(t *testing.T) {
 	if _, err := NewReader(strings.NewReader("NOPE....")).Read(); err != ErrBadMagic {
 		t.Fatalf("err = %v, want ErrBadMagic", err)
 	}
-	if _, err := NewReader(strings.NewReader("MC")).Read(); err != ErrBadMagic {
+	if _, err := NewReader(strings.NewReader("MC")).Read(); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("short err = %v, want ErrBadMagic", err)
 	}
 }
@@ -76,13 +77,56 @@ func TestBadMagicRejected(t *testing.T) {
 func TestTruncatedStream(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	w.Write(Record{PE: 0, Op: workload.Write(5, 9, coherence.ClassShared)})
+	w.Write(Record{PE: 3, Op: workload.Write(5, 9, coherence.ClassShared)})
+	w.Write(Record{PE: 3, Op: workload.Read(6, coherence.ClassShared)})
 	w.Flush()
 	full := buf.Bytes()
-	// Chop mid-record (keep the magic plus one byte).
-	_, err := NewReader(bytes.NewReader(full[:5])).ReadAll()
-	if err != io.ErrUnexpectedEOF {
-		t.Fatalf("truncated err = %v, want ErrUnexpectedEOF", err)
+	// Chopping the stream at every mid-record position must yield a
+	// truncation error that names the record and byte offset — never a
+	// clean EOF, never a bare sentinel with no position.
+	for cut := len(magic) + 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		var err error
+		var n int
+		for {
+			_, e := r.Read()
+			if e != nil {
+				err = e
+				break
+			}
+			n++
+		}
+		if err == io.EOF {
+			// A cut exactly on a record boundary is a legitimate clean end.
+			if wantRecs := 1; n != wantRecs {
+				t.Fatalf("cut %d: clean EOF after %d records", cut, n)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+		if !strings.Contains(err.Error(), "record ") || !strings.Contains(err.Error(), "byte offset ") {
+			t.Fatalf("cut %d: error %q lacks position info", cut, err)
+		}
+	}
+}
+
+func TestCorruptHeaderPositioned(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{PE: 0, Op: workload.Read(100, coherence.ClassCode)})
+	w.Flush()
+	raw := buf.Bytes()
+	// Append a record with an undecodable op kind (7) after the valid one.
+	raw = append(raw, 0 /* pe */, 7 /* head: kind=7 */)
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	_, err := r.Read()
+	if err == nil || !strings.Contains(err.Error(), "record 1,") {
+		t.Fatalf("corrupt header err = %v, want record-1 position", err)
 	}
 }
 

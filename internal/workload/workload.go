@@ -117,6 +117,9 @@ type Reseeder interface {
 }
 
 // Trace is an Agent replaying a fixed operation sequence, then halting.
+// It implements Reseeder — replay has no seed, so Reseed just rewinds —
+// which makes captured traces first-class workloads everywhere Reseeder
+// agents run (sweeps, batched arenas, Machine.Reset).
 type Trace struct {
 	Ops []Op
 	pos int
@@ -138,6 +141,10 @@ func (t *Trace) Next(Result) Op {
 	t.pos++
 	return op
 }
+
+// Reseed implements Reseeder: a trace's stream is seed-independent, so
+// any seed rewinds the replay to the first operation.
+func (t *Trace) Reseed(uint64) { t.pos = 0 }
 
 // Func adapts a function to the Agent interface.
 type Func func(prev Result) Op

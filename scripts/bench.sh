@@ -5,6 +5,7 @@
 #   bench.sh core [out]          core cycle-loop benchmark -> BENCH_core.json
 #   bench.sh serve [out]         service-layer load test -> BENCH_serve.json
 #   bench.sh cluster [out]       cluster scaling curve -> BENCH_cluster.json
+#   bench.sh profile [out]       miss-ratio profiler cost -> BENCH_profile.json
 #   bench.sh all                 all of the above, default outputs
 #
 # sweep: runs each benchmark experiment four ways — cold serial
@@ -31,6 +32,12 @@
 # hot-key shift) through the router, recording per-point latency,
 # throughput and the router's replica/failover counters (schema
 # cluster-bench-v1; see cmd/loadgen/cluster.go).
+#
+# profile: times an unprofiled vs profiled run (best of three each) and
+# the 14-point cache-size sweep one profiled run replaces, recording the
+# profiler's overhead and the sweep speedup plus per-size measured vs
+# curve-predicted miss ratios (schema profile-bench-v1; see
+# cmd/mimdsim/profile.go runProfileBench).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -60,11 +67,18 @@ cluster)
 	go run ./cmd/loadgen -cluster 1,2,4 -skew 1.2 -seed 1 -o "$out"
 	echo "==> wrote $out"
 	;;
+profile)
+	out=${2:-BENCH_profile.json}
+	echo "==> go run ./cmd/mimdsim -profile-bench $out"
+	go run ./cmd/mimdsim -profile-bench "$out"
+	echo "==> wrote $out"
+	;;
 all)
 	sh "$0" sweep
 	sh "$0" core
 	sh "$0" serve
 	sh "$0" cluster
+	sh "$0" profile
 	;;
 *)
 	# Backward compatibility: a bare output path means the sweep mode.
@@ -73,7 +87,7 @@ all)
 		sh "$0" sweep "$mode"
 		;;
 	*)
-		echo "bench.sh: unknown mode '$mode' (want sweep, core, serve, cluster, or all)" >&2
+		echo "bench.sh: unknown mode '$mode' (want sweep, core, serve, cluster, profile, or all)" >&2
 		exit 2
 		;;
 	esac

@@ -47,6 +47,12 @@
 #                  fault-free single-node oracle, faults must actually
 #                  fire, and the matrix must be byte-identical across
 #                  -j1, -j2, and a same-seed rerun
+#  14. profile    a bounded smoke of the online miss-ratio profiler: a
+#                  tier-1 scenario is recorded, replayed as a trace
+#                  workload (metrics must be identical to the original
+#                  run, curves byte-identical), and the online curves
+#                  are cross-validated byte-for-byte against the offline
+#                  stack algorithm over the recorded reference streams
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -93,5 +99,8 @@ go run ./cmd/mimdrouter -smoke
 
 echo "==> chaoscampaign -smoke"
 go run ./cmd/chaoscampaign -smoke
+
+echo "==> mimdsim -profile-smoke"
+go run ./cmd/mimdsim -profile-smoke
 
 echo "==> all checks passed"
